@@ -1,0 +1,81 @@
+"""Ablations for two parameter choices the paper calls out explicitly.
+
+1. **L_eff balance** (paper Figure 1 caption): "Setting L_eff too low
+   would require many low-latency bootstraps, while setting it too high
+   would result in fewer but higher-latency bootstraps.  We set
+   L_eff = 10."  We sweep L_eff on ResNet-20 and check the modeled
+   end-to-end latency is U-shaped: the extremes lose to the middle.
+
+2. **BSGS split choice** (paper Section 3.2): "the number of ciphertext
+   rotations is minimized when n1 = n2 = sqrt(n)."  We sweep the baby
+   modulus for a dense square matrix and check the optimum.
+"""
+
+from repro.backend.costs import CostModel
+from repro.ckks.params import paper_parameters
+from repro.core.packing.bsgs import plan_bsgs
+from repro.models import resnet_cifar, relu_act
+from repro.nn import init
+from repro.orion import OrionNetwork
+
+
+def test_ablation_leff_balance(record_table, benchmark):
+    init.seed_init(0)
+    rows = []
+    latencies = {}
+    # ReLU's three composite sign stages are separate polynomial layers
+    # (paper Section 5.1), so bootstraps may land between them and the
+    # "too low L_eff -> many cheap bootstraps" regime is reachable.
+    sweep = (8, 9, 10, 12, 14, 16, 18, 20, 24)
+    for l_eff in sweep:
+        params = paper_parameters(max_level=l_eff + 14, boot_levels=14)
+        net = resnet_cifar(20, act=relu_act())
+        compiled = OrionNetwork(net, (3, 32, 32)).compile(params, mode="analyze")
+        latencies[l_eff] = compiled.modeled_seconds
+        rows.append(
+            (
+                l_eff,
+                compiled.num_bootstraps,
+                f"{CostModel(params).bootstrap(l_eff):.1f}",
+                f"{compiled.modeled_seconds:.0f}",
+            )
+        )
+    record_table(
+        "ablation_leff",
+        "Figure 1 trade-off: L_eff vs bootstrap count and modeled latency (ResNet-20, ReLU)",
+        ("L_eff", "#boots", "per-boot (s)", "total (s, modeled)"),
+        rows,
+    )
+    # Bootstrap count decreases (weakly) as L_eff grows...
+    counts = [r[1] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+    # ...while per-bootstrap cost increases, so the best total latency
+    # sits strictly inside the sweep (the paper's balancing argument).
+    best = min(latencies, key=latencies.get)
+    assert sweep[0] < best < sweep[-1]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_bsgs_split(record_table, benchmark):
+    n = 1 << 12
+    offsets = range(n)
+    rows = []
+    rotation_counts = {}
+    for log_n1 in range(2, 11):
+        n1 = 1 << log_n1
+        babies = sum(1 for b in range(min(n1, n)) if b)
+        giants = sum(1 for g in range(0, n, n1) if g)
+        rotation_counts[n1] = babies + giants
+        rows.append((n1, n // n1, babies + giants))
+    optimal = plan_bsgs(offsets, n)
+    record_table(
+        "ablation_bsgs_split",
+        f"Section 3.2: rotations vs baby modulus for a dense {n}x{n} matvec",
+        ("n1", "n2", "rotations"),
+        rows,
+    )
+    best_n1 = min(rotation_counts, key=rotation_counts.get)
+    # Optimum at n1 = n2 = sqrt(n) (paper Section 3.2).
+    assert best_n1 == 1 << 6
+    assert optimal.num_rotations == rotation_counts[best_n1]
+    benchmark.pedantic(lambda: plan_bsgs(offsets, n), rounds=3, iterations=1)

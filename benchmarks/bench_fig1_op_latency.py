@@ -1,0 +1,81 @@
+"""Figure 1: PMult / HRot / Bootstrap latency as a function of level.
+
+Reproduces the three shapes of paper Figure 1 (N = 2^16, Delta ~ 2^40):
+PMult and HRot grow with the ciphertext level (more RNS limbs), and
+bootstrap latency grows superlinearly with L_eff because dnum rises.
+Cross-checked against wall-clock measurements of the exact toy backend
+at small N (the real arithmetic shows the same limb-count scaling).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.backend import CostModel, ToyBackend
+from repro.ckks.params import paper_parameters, toy_parameters
+
+
+def test_fig1_model_latencies(record_table, benchmark):
+    params = paper_parameters()
+    costs = CostModel(params)
+    rows = []
+    for level in range(0, params.max_level + 1, 2):
+        rows.append(
+            (
+                level,
+                f"{costs.pmult(level) * 1e3:.2f}",
+                f"{costs.hrot(level) * 1e3:.2f}",
+                f"{costs.bootstrap(min(level, params.effective_level)):.2f}"
+                if level <= params.effective_level
+                else "-",
+            )
+        )
+    record_table(
+        "fig1_op_latency",
+        "Figure 1: modeled op latency vs level (N=2^16, Delta~2^40)",
+        ("level", "PMult (ms)", "HRot (ms)", "Bootstrap to L_eff=level (s)"),
+        rows,
+    )
+    # Shape assertions (who grows, and how).
+    pm = [costs.pmult(l) for l in range(params.max_level + 1)]
+    hr = [costs.hrot(l) for l in range(params.max_level + 1)]
+    bt = [costs.bootstrap(l) for l in range(1, params.effective_level + 1)]
+    assert all(b > a for a, b in zip(pm, pm[1:]))
+    assert all(b > a for a, b in zip(hr, hr[1:]))
+    increments = np.diff(bt)
+    assert increments[-1] > increments[0]
+    benchmark.pedantic(lambda: costs.bootstrap(), rounds=100, iterations=10)
+
+
+def test_fig1_toy_backend_crosscheck(record_table, benchmark):
+    """Measured wall-clock of the exact backend scales with limb count."""
+    params = toy_parameters(ring_degree=1024, max_level=8, boot_levels=2)
+    backend = ToyBackend(params, seed=0)
+    values = np.linspace(-1, 1, backend.slot_count)
+    rows = []
+    measured = {}
+    for level in (2, 5, 8):
+        ct = backend.level_down(backend.encode_encrypt(values), level)
+        pt = backend.encode(values, level, params.scale)
+        start = time.perf_counter()
+        for _ in range(5):
+            backend.mul_plain(ct, pt)
+        pmult_ms = (time.perf_counter() - start) / 5 * 1e3
+        start = time.perf_counter()
+        for _ in range(3):
+            backend.rotate(ct, 1)
+        hrot_ms = (time.perf_counter() - start) / 3 * 1e3
+        measured[level] = (pmult_ms, hrot_ms)
+        rows.append((level, f"{pmult_ms:.3f}", f"{hrot_ms:.3f}"))
+    record_table(
+        "fig1_toy_crosscheck",
+        "Figure 1 cross-check: measured toy-backend wall-clock (N=2^10)",
+        ("level", "PMult (ms)", "HRot (ms)"),
+        rows,
+    )
+    assert measured[8][0] > measured[2][0]  # more limbs, more work
+    assert measured[8][1] > measured[2][1]
+    ct = backend.level_down(backend.encode_encrypt(values), 5)
+    pt = backend.encode(values, 5, params.scale)
+    benchmark.pedantic(lambda: backend.mul_plain(ct, pt), rounds=5, iterations=2)

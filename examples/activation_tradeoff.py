@@ -1,0 +1,89 @@
+"""The activation trade-off of paper Section 8.2: ReLU vs SiLU.
+
+ReLU must be approximated by a composite minimax sign polynomial
+(degrees [15, 15, 27]) that burns roughly twice the multiplicative
+depth of a single degree-127 Chebyshev SiLU.  Fewer levels per
+activation mean fewer bootstraps and a faster network — at a small
+accuracy cost (the paper measures ~2.1% cleartext accuracy drop for a
+1.77x average speedup).
+
+This example compiles the same ResNet-20 under both activations at
+paper-scale parameters and prints the depth / bootstrap / latency
+comparison, then validates both numerically on the simulation backend
+with a small trained variant.
+
+Run:  python examples/activation_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.backend import SimBackend
+from repro.ckks.params import paper_parameters
+from repro.datasets import cifar_like
+from repro.models import relu_act, resnet_cifar, silu_act
+from repro.nn import SGD, init
+from repro.orion import OrionNetwork
+
+
+def compare_paper_scale():
+    """Compile full ResNet-20 both ways; report the structural trade."""
+    params = paper_parameters()
+    print(f"Paper-scale comparison on {params}")
+    print(f"{'activation':<12}{'depth':>7}{'#boots':>8}{'modeled (s)':>13}")
+    results = {}
+    for name, act in (("ReLU", relu_act()), ("SiLU", silu_act())):
+        init.seed_init(0)
+        net = resnet_cifar(20, act=act)
+        compiled = OrionNetwork(net, (3, 32, 32)).compile(params, mode="analyze")
+        results[name] = compiled
+        print(
+            f"{name:<12}{compiled.multiplicative_depth:>7}"
+            f"{compiled.num_bootstraps:>8}{compiled.modeled_seconds:>13.0f}"
+        )
+    speedup = results["ReLU"].modeled_seconds / results["SiLU"].modeled_seconds
+    print(f"SiLU speedup: {speedup:.2f}x (paper reports 1.77x average)\n")
+
+
+def validate_numerically():
+    """Train a narrow ResNet and check FHE outputs match cleartext."""
+    print("Numerical validation on the simulation backend (width-8 net):")
+    data = cifar_like(192, seed=1)
+    train_x, train_y = data.images[:160], data.labels[:160]
+    test_x = data.images[160:]
+    params = paper_parameters()
+    for name, act in (("ReLU", relu_act()), ("SiLU", silu_act())):
+        init.seed_init(2)
+        net = resnet_cifar(8, act=act, width=8)
+        opt = SGD(net.parameters(), lr=0.02, momentum=0.9)
+        for _ in range(3):
+            for s in range(0, 160, 32):
+                opt.zero_grad()
+                loss = F.cross_entropy(
+                    net(Tensor(train_x[s : s + 32])), train_y[s : s + 32]
+                )
+                loss.backward()
+                opt.step()
+        net.eval()
+        onet = OrionNetwork(net, (3, 32, 32))
+        onet.fit([train_x[:64]])
+        compiled = onet.compile(params)
+        backend = SimBackend(params, seed=3)
+        encrypted = compiled.run(backend, test_x[0])
+        clear = onet.forward_cleartext(test_x[0])
+        bits = OrionNetwork.precision_bits(encrypted, clear)
+        agree = encrypted.argmax() == clear.argmax()
+        print(
+            f"  {name:<6} precision {bits:5.1f} bits, "
+            f"predictions {'agree' if agree else 'DISAGREE'}"
+        )
+
+
+def main():
+    compare_paper_scale()
+    validate_numerically()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""A tour of automatic bootstrap placement (paper Section 5, Figure 6).
+
+Reconstructs the paper's Figure 6 scenarios and then shows the planner
+against lazy and DaCapo-style baselines on a residual network — the
+level management policy is printed layer by layer.
+
+Run:  python examples/bootstrap_placement_tour.py
+"""
+
+from repro.backend.costs import CostModel
+from repro.ckks.params import paper_parameters
+from repro.core.placement import (
+    JoinSpec,
+    LayerSpec,
+    PlacementChain,
+    PlacementRegion,
+    dacapo_style_placement,
+    lazy_placement,
+    solve_placement,
+)
+from repro.models import resnet_cifar, silu_act
+from repro.nn import init
+from repro.orion import OrionNetwork
+
+PARAMS = paper_parameters()
+COSTS = CostModel(PARAMS)
+
+
+def figure6():
+    print("=== Paper Figure 6 ===")
+    cost = lambda level: 1.0 + 0.1 * level
+    chain = PlacementChain([LayerSpec(f"fc{i}", 1, cost) for i in (1, 2, 3)])
+    result = solve_placement(chain, l_eff=3, boot_cost=100.0)
+    print(f"(a) skip-less 3-layer MLP, L_eff=3: {result.num_bootstraps} bootstraps "
+          f"(paper: 0); levels {[p.exec_level for p in result.policies]}")
+
+    backbone = PlacementChain(
+        [LayerSpec("fc1", 1, cost), LayerSpec("fc2", 1, cost), LayerSpec("ax^2", 1, cost)]
+    )
+    region = PlacementRegion(
+        backbone, PlacementChain(), JoinSpec("add", 0, lambda l: 0.0, boot_units=2)
+    )
+    result = solve_placement(
+        PlacementChain([region, LayerSpec("fc3", 1, cost)]), l_eff=3, boot_cost=100.0
+    )
+    print(f"(c) residual variant: {result.num_bootstraps} bootstrap(s) (paper: >= 1)")
+    for policy in result.policies:
+        marker = f"  <-- bootstrap x{policy.bootstrap_before}" if policy.bootstrap_before else ""
+        print(f"      {policy.name:6s} @ level {policy.exec_level}{marker}")
+
+
+def resnet_policies():
+    print("\n=== ResNet-20 (SiLU) level management policy ===")
+    init.seed_init(0)
+    net = resnet_cifar(20, act=silu_act(127))
+    compiled = OrionNetwork(net, (3, 32, 32)).compile(PARAMS, mode="analyze")
+    boot_cost = COSTS.bootstrap()
+    lazy = lazy_placement(compiled.chain, PARAMS.effective_level, boot_cost)
+    dacapo = dacapo_style_placement(compiled.chain, PARAMS.effective_level, boot_cost)
+    print(f"  planner:      {compiled.num_bootstraps} boots, "
+          f"{compiled.modeled_seconds:.0f}s modeled, "
+          f"solved in {compiled.placement.solve_seconds * 1e3:.1f} ms")
+    print(f"  lazy:         {lazy.num_bootstraps} boots, {lazy.modeled_seconds:.0f}s")
+    print(f"  DaCapo-style: {dacapo.num_bootstraps} boots, {dacapo.modeled_seconds:.0f}s, "
+          f"solved in {dacapo.solve_seconds * 1e3:.0f} ms")
+    print("  first bootstrap sites (planner):")
+    shown = 0
+    for policy in compiled.placement.policies:
+        if policy.bootstrap_before and shown < 5:
+            print(f"    before {policy.name} (runs at level {policy.exec_level})")
+            shown += 1
+
+
+if __name__ == "__main__":
+    figure6()
+    resnet_policies()

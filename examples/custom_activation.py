@@ -1,0 +1,100 @@
+"""Extending orion.nn with a custom activation (paper Section 6).
+
+"The user need only extend the base orion.nn module, inheriting support
+for range estimation and polynomial evaluation, and provide an
+activation function to approximate with a specified degree."
+
+This example builds a small CNN around two custom activations — GELU
+and Mish — via ``on.Activation``, trains it with the ordinary autograd
+loop (the numeric-derivative fallback keeps custom activations
+trainable), and runs a genuinely encrypted inference on the exact toy
+backend to show the whole pipeline (range fit, Chebyshev approximation,
+packing, scale management) carries over untouched.
+
+Run:  python examples/custom_activation.py
+"""
+
+import numpy as np
+from scipy.special import erf
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.backend import ToyBackend
+from repro.ckks.params import toy_parameters
+from repro.datasets import mnist_like
+from repro.nn import SGD, init
+from repro.orion import OrionNetwork
+from repro.orion import nn as on
+
+
+def gelu(x):
+    return 0.5 * x * (1.0 + erf(np.asarray(x) / np.sqrt(2.0)))
+
+
+def mish(x):
+    x = np.asarray(x)
+    return x * np.tanh(np.log1p(np.exp(np.clip(x, -30, 30))))
+
+
+class CustomActNet(on.Module):
+    """A LoLA-style CNN whose nonlinearities are user-supplied."""
+
+    def __init__(self, image_size: int = 16):
+        super().__init__()
+        self.conv = on.Conv2d(1, 4, 3, stride=2, padding=1)
+        self.act1 = on.Activation(gelu, degree=31, name="gelu")
+        self.flatten = on.Flatten()
+        hidden = 4 * (image_size // 2) ** 2
+        self.fc1 = on.Linear(hidden, 32)
+        self.act2 = on.Activation(mish, degree=31, name="mish")
+        self.fc2 = on.Linear(32, 10)
+
+    def forward(self, x):
+        out = self.act1(self.conv(x))
+        out = self.act2(self.fc1(self.flatten(out)))
+        return self.fc2(out)
+
+
+def main():
+    init.seed_init(4)
+    net = CustomActNet()
+
+    print("Training with GELU/Mish (numeric-derivative fallback) ...")
+    data = mnist_like(256, seed=4)
+    images = data.images[:, :, 6:22, 6:22]
+    train_x, test_x = images[:200], images[200:]
+    train_y, test_y = data.labels[:200], data.labels[200:]
+    opt = SGD(net.parameters(), lr=0.05, momentum=0.9)
+    for epoch in range(4):
+        for s in range(0, 200, 32):
+            opt.zero_grad()
+            loss = F.cross_entropy(net(Tensor(train_x[s : s + 32])), train_y[s : s + 32])
+            loss.backward()
+            opt.step()
+        print(f"  epoch {epoch}: loss {loss.item():.3f}")
+    net.eval()
+
+    print("Compiling (range fit + degree-31 Chebyshev per activation) ...")
+    onet = OrionNetwork(net, (1, 16, 16))
+    onet.fit([train_x[:64]])
+    params = toy_parameters(ring_degree=2048, max_level=14, boot_levels=3)
+    compiled = onet.compile(params)
+    print(f"  {compiled.summary()}")
+
+    print("Encrypted inference on the exact RNS-CKKS toy backend ...")
+    backend = ToyBackend(params, seed=5)
+    agree = 0
+    bits = []
+    for i in range(4):
+        fhe = compiled.run(backend, test_x[i])
+        clear = onet.forward_cleartext(test_x[i])
+        agree += int(fhe.argmax() == clear.argmax())
+        bits.append(OrionNetwork.precision_bits(fhe, clear))
+    print(
+        f"  encrypted vs cleartext predictions agree on {agree}/4 images; "
+        f"mean output precision {np.mean(bits):.1f} bits"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs fail with "invalid command 'bdist_wheel'".  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""FHE execution backends behind a common interface.
+
+- :class:`ToyBackend` runs real RNS-CKKS on small rings (exact).
+- :class:`SimBackend` runs the same programs functionally (true SIMD
+  semantics on cleartext vectors) while tracking exact levels/scales,
+  injecting calibrated noise, and charging latency from the analytical
+  cost model of paper Figure 1.
+
+Compiled Orion programs are backend-agnostic: small networks validate on
+the toy backend; paper-scale networks run on the simulator.
+"""
+
+from repro.backend.costs import CostModel
+from repro.backend.interface import FheBackend
+from repro.backend.ledger import OpLedger
+from repro.backend.sim import SimBackend
+from repro.backend.toy import ToyBackend
+
+__all__ = ["CostModel", "FheBackend", "OpLedger", "SimBackend", "ToyBackend"]

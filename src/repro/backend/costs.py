@@ -1,0 +1,160 @@
+"""Analytical latency model for CKKS operations (paper Figure 1).
+
+The paper estimates "the latencies of both the linear layers and
+bootstrap operations with an analytical model" (Section 5.2) and shows
+in Figure 1 that PMult and HRot latencies grow with the ciphertext
+level l (more RNS limbs = more work) while bootstrap latency grows
+superlinearly with L_eff because the key-switching decomposition number
+(dnum) rises to maintain 128-bit security.
+
+This module reproduces those shapes.  Constants are calibrated so that
+paper-scale parameters (N = 2^16, L_eff = 10) land in the regime Table 2
+reports (PMult ~ 10 ms, HRot ~ 100 ms, bootstrap ~ 10 s, ResNet-20
+end-to-end in the hundreds of seconds).  Absolute values are a model;
+every benchmark reports shapes and ratios, not wall-clock claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParameters
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Level-dependent operation latencies in (modeled) seconds.
+
+    Attributes:
+        params: the CKKS parameter set being priced.
+        alpha: limbs per key-switch digit; dnum = ceil(limbs / alpha).
+            Rising dnum with level is what makes bootstrap superlinear
+            (paper Section 2.4, citing Han-Ki [33]).
+    """
+
+    params: CkksParameters
+    alpha: int = 4
+    # Per-unit constants (seconds at the N = 2^16 normalization point).
+    c_add: float = 2.0e-4
+    c_pmult: float = 1.5e-3
+    c_decompose: float = 3.0e-3
+    c_inner: float = 8.0e-4
+    c_moddown: float = 1.5e-3
+    c_boot_base: float = 0.5
+    c_boot_quad: float = 2.5e-3
+    c_encode: float = 2.0e-3
+
+    # -- helpers ---------------------------------------------------------
+    @property
+    def _unit(self) -> float:
+        """Work unit ~ N log N, normalized to 1.0 at N = 2^16."""
+        n = self.params.ring_degree
+        return (n / 65536.0) * (math.log2(n) / 16.0)
+
+    def _limbs(self, level: int) -> int:
+        return level + 1
+
+    def dnum(self, level: int) -> int:
+        """Key-switch decomposition number at the given level."""
+        return max(1, math.ceil(self._limbs(level) / self.alpha))
+
+    # -- primitive ops (paper Figure 1) -----------------------------------
+    def hadd(self, level: int) -> float:
+        return self.c_add * self._limbs(level) * self._unit
+
+    def pmult(self, level: int) -> float:
+        """Plaintext-ciphertext multiply: linear in limb count (Fig. 1a)."""
+        return self.c_pmult * self._limbs(level) * self._unit
+
+    def rescale(self, level: int) -> float:
+        return self.c_moddown * self._limbs(level) * self._unit
+
+    def encode(self, level: int) -> float:
+        """Encoding a cleartext (iFFT + NTT); charged by Fhelipe-style
+        backends that encode diagonals on the fly (paper Table 4)."""
+        return self.c_encode * self._limbs(level) * self._unit
+
+    # -- key switching, decomposed for hoisting ---------------------------
+    def ks_decompose(self, level: int) -> float:
+        """Digit decomposition + NTTs; shareable across rotations of the
+        same ciphertext (single hoisting, Section 3.3)."""
+        limbs = self._limbs(level)
+        return self.c_decompose * limbs * self.dnum(level) * self._unit
+
+    def ks_inner(self, level: int) -> float:
+        """Per-rotation inner products against the switching key."""
+        limbs = self._limbs(level)
+        special = self.params.num_special_primes
+        return self.c_inner * self.dnum(level) * (limbs + special + 1) * self._unit
+
+    def ks_moddown(self, level: int) -> float:
+        """Division by the special modulus; double hoisting defers this
+        to once per giant-step group (Bossuat et al. [11])."""
+        return self.c_moddown * self._limbs(level) * self._unit
+
+    def keyswitch(self, level: int) -> float:
+        return self.ks_decompose(level) + self.ks_inner(level) + self.ks_moddown(level)
+
+    def hrot(self, level: int) -> float:
+        """Un-hoisted ciphertext rotation (Fig. 1b)."""
+        return self.keyswitch(level) + 0.5 * self.c_add * self._limbs(level) * self._unit
+
+    def hmult(self, level: int) -> float:
+        """Ciphertext-ciphertext multiply incl. relinearization."""
+        return 4.0 * self.pmult(level) + self.keyswitch(level)
+
+    def bootstrap(self, effective_level: int | None = None) -> float:
+        """Bootstrap cost, superlinear in L_eff (Fig. 1c).
+
+        A bootstrap runs at the top of the modulus chain: its linear
+        transforms and EvalMod execute with L_eff + L_boot + 1 limbs and
+        a correspondingly larger dnum.
+        """
+        l_eff = (
+            self.params.effective_level if effective_level is None else effective_level
+        )
+        top_limbs = l_eff + self.params.boot_levels + 1
+        top_dnum = max(1, math.ceil(top_limbs / self.alpha))
+        return (
+            self.c_boot_base + self.c_boot_quad * top_limbs * top_limbs * top_dnum
+        ) * self._unit
+
+    # -- aggregated helpers for the packing planner -----------------------
+    def matvec_cost(
+        self,
+        level: int,
+        num_diagonals: int,
+        num_baby: int,
+        num_giant: int,
+        hoisting: str = "double",
+    ) -> float:
+        """Modeled cost of one BSGS matrix-vector product.
+
+        Args:
+            level: ciphertext level the product executes at.
+            num_diagonals: plaintext diagonals multiplied (PMult count).
+            num_baby: distinct baby-step rotations.
+            num_giant: distinct giant-step rotations.
+            hoisting: 'none' | 'single' | 'double' (Section 3.3).
+        """
+        pm = num_diagonals * self.pmult(level)
+        adds = max(0, num_diagonals - 1) * self.hadd(level)
+        if hoisting == "none":
+            rots = (num_baby + num_giant) * self.hrot(level)
+        elif hoisting == "single":
+            rots = (
+                self.ks_decompose(level)
+                + num_baby * (self.ks_inner(level) + self.ks_moddown(level))
+                + num_giant * self.hrot(level)
+            )
+        elif hoisting == "double":
+            rots = (
+                self.ks_decompose(level)
+                + num_baby * self.ks_inner(level)
+                + max(1, num_giant) * self.ks_moddown(level)
+                + num_giant * (self.ks_decompose(level) + self.ks_inner(level))
+            )
+        else:
+            raise ValueError(f"unknown hoisting mode {hoisting!r}")
+        return pm + adds + rots + self.rescale(level)

@@ -1,0 +1,145 @@
+"""The backend contract compiled Orion programs execute against.
+
+Handles (ciphertexts/plaintexts) are backend-specific opaque objects;
+the program executor only moves them between the operations below.
+Every operation charges the backend's :class:`OpLedger` using the shared
+:class:`CostModel`, so rotation/bootstrap counts and modeled latency are
+comparable across backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backend.costs import CostModel
+from repro.backend.ledger import OpLedger
+from repro.ckks.params import CkksParameters
+
+ScaleLike = Union[int, Fraction]
+
+
+class FheBackend(abc.ABC):
+    """Abstract CKKS backend (paper Section 2 operations).
+
+    Concrete implementations: :class:`repro.backend.toy.ToyBackend`
+    (exact) and :class:`repro.backend.sim.SimBackend` (fast functional
+    simulation).
+    """
+
+    def __init__(self, params: CkksParameters, cost_model: Optional[CostModel] = None):
+        self.params = params
+        self.costs = cost_model or CostModel(params)
+        self.ledger = OpLedger()
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return self.params.slot_count
+
+    @property
+    def effective_level(self) -> int:
+        return self.params.effective_level
+
+    # -- data movement -----------------------------------------------------
+    @abc.abstractmethod
+    def encode(self, values: Sequence[float], level: int, scale: ScaleLike):
+        """Cleartext -> plaintext at an explicit level and scale."""
+
+    @abc.abstractmethod
+    def encrypt(self, plaintext):
+        """Plaintext -> ciphertext."""
+
+    @abc.abstractmethod
+    def decrypt(self, ciphertext) -> np.ndarray:
+        """Ciphertext -> cleartext slot vector (real parts)."""
+
+    def encode_encrypt(self, values, level: Optional[int] = None):
+        level = self.params.max_level if level is None else level
+        return self.encrypt(self.encode(values, level, self.params.scale))
+
+    # -- metadata ------------------------------------------------------------
+    @abc.abstractmethod
+    def level_of(self, ciphertext) -> int: ...
+
+    @abc.abstractmethod
+    def scale_of(self, ciphertext) -> Fraction: ...
+
+    # -- arithmetic ------------------------------------------------------------
+    @abc.abstractmethod
+    def add(self, a, b): ...
+
+    @abc.abstractmethod
+    def sub(self, a, b): ...
+
+    @abc.abstractmethod
+    def add_plain(self, a, plaintext): ...
+
+    @abc.abstractmethod
+    def negate(self, a): ...
+
+    @abc.abstractmethod
+    def mul_plain(self, a, plaintext): ...
+
+    @abc.abstractmethod
+    def mul(self, a, b): ...
+
+    @abc.abstractmethod
+    def rescale(self, a): ...
+
+    @abc.abstractmethod
+    def level_down(self, a, target_level: int): ...
+
+    @abc.abstractmethod
+    def rotate(self, a, steps: int): ...
+
+    def conjugate(self, a):
+        """Slot-wise complex conjugation (a Galois automorphism).
+
+        Needed by the real bootstrapping pipeline's CoeffToSlot stage;
+        backends that only process real slot vectors may leave this
+        unimplemented.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no conjugation")
+
+    @abc.abstractmethod
+    def bootstrap(self, a): ...
+
+    # -- hoisted rotations (Section 3.3) ---------------------------------------
+    def rotate_group(self, a, steps: Sequence[int], hoisting: str = "double") -> Dict[int, object]:
+        """Rotate one ciphertext by many amounts, amortizing key-switch work.
+
+        Default implementation delegates to :meth:`rotate` per step but
+        charges the hoisted price; backends may override for fidelity.
+        Rotation by 0 is free (returns the input).
+        """
+        outputs: Dict[int, object] = {}
+        unique_steps: List[int] = sorted({s % self.slot_count for s in steps})
+        nonzero = [s for s in unique_steps if s != 0]
+        if 0 in unique_steps:
+            outputs[0] = a
+        level = self.level_of(a)
+        if nonzero:
+            if hoisting == "none":
+                self.ledger.charge("hrot", self.costs.hrot(level) * len(nonzero), len(nonzero))
+            else:
+                shared = self.costs.ks_decompose(level)
+                per = self.costs.ks_inner(level)
+                if hoisting == "single":
+                    per += self.costs.ks_moddown(level)
+                    shared += 0.0
+                else:  # double hoisting defers mod-down to the giant step
+                    shared += self.costs.ks_moddown(level)
+                self.ledger.charge(
+                    "hrot_hoisted", shared + per * len(nonzero), len(nonzero)
+                )
+            for step in nonzero:
+                outputs[step] = self._rotate_no_charge(a, step)
+        return outputs
+
+    @abc.abstractmethod
+    def _rotate_no_charge(self, a, steps: int):
+        """Rotation primitive without ledger charges (used by rotate_group)."""

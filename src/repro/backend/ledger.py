@@ -1,0 +1,110 @@
+"""Operation ledger: counts and modeled latency for every FHE op.
+
+Every backend charges its operations here.  Benchmarks read rotation
+counts (paper Tables 2-4), bootstrap counts, and accumulated modeled
+latency from the ledger, optionally broken down by phase label (e.g.
+per layer) so conv-time vs bootstrap-time splits can be reported
+(paper Table 4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional
+
+
+class OpLedger:
+    """Mutable accounting of homomorphic operation counts and latency."""
+
+    TRACKED_OPS = (
+        "hadd",
+        "padd",
+        "pmult",
+        "hmult",
+        "hrot",
+        "hrot_hoisted",
+        "bootstrap",
+        "rescale",
+        "encode",
+        "keyswitch",
+    )
+
+    def __init__(self):
+        self.counts: Counter = Counter()
+        self.seconds: float = 0.0
+        self.seconds_by_phase: Dict[str, float] = defaultdict(float)
+        self.counts_by_phase: Dict[str, Counter] = defaultdict(Counter)
+        self._phase: Optional[str] = None
+
+    # -- phases ----------------------------------------------------------
+    def set_phase(self, phase: Optional[str]) -> None:
+        """Label subsequent charges (e.g. 'conv1', 'bootstrap', 'act2')."""
+        self._phase = phase
+
+    class _PhaseScope:
+        def __init__(self, ledger: "OpLedger", phase: str):
+            self.ledger = ledger
+            self.phase = phase
+            self.previous: Optional[str] = None
+
+        def __enter__(self):
+            self.previous = self.ledger._phase
+            self.ledger.set_phase(self.phase)
+            return self.ledger
+
+        def __exit__(self, *exc):
+            self.ledger.set_phase(self.previous)
+            return False
+
+    def phase(self, name: str) -> "OpLedger._PhaseScope":
+        return OpLedger._PhaseScope(self, name)
+
+    # -- charging ----------------------------------------------------------
+    def charge(self, op: str, seconds: float, count: int = 1) -> None:
+        self.counts[op] += count
+        self.seconds += seconds
+        if self._phase is not None:
+            self.seconds_by_phase[self._phase] += seconds
+            self.counts_by_phase[self._phase][op] += count
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def rotations(self) -> int:
+        """Total ciphertext rotations (hoisted rotations count once each,
+        matching how the paper reports '# Rots')."""
+        return self.counts["hrot"] + self.counts["hrot_hoisted"]
+
+    @property
+    def bootstraps(self) -> int:
+        return self.counts["bootstrap"]
+
+    @property
+    def multiplies(self) -> int:
+        return self.counts["pmult"] + self.counts["hmult"]
+
+    def phase_seconds(self, prefix: str) -> float:
+        """Sum of modeled seconds across phases starting with ``prefix``."""
+        return sum(
+            secs for phase, secs in self.seconds_by_phase.items()
+            if phase.startswith(prefix)
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {op: self.counts[op] for op in self.TRACKED_OPS}
+        out["seconds"] = self.seconds
+        out["rotations"] = self.rotations
+        return out
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.seconds = 0.0
+        self.seconds_by_phase.clear()
+        self.counts_by_phase.clear()
+        self._phase = None
+
+    def __repr__(self) -> str:
+        return (
+            f"OpLedger(rots={self.rotations}, boots={self.bootstraps}, "
+            f"pmult={self.counts['pmult']}, hmult={self.counts['hmult']}, "
+            f"seconds={self.seconds:.3f})"
+        )

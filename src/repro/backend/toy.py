@@ -1,0 +1,106 @@
+"""Exact backend: real RNS-CKKS on small rings behind the common interface.
+
+Wraps :class:`repro.ckks.context.CkksContext`.  Ledger charges use the
+same analytical cost model as the simulator so counts and modeled
+latencies are comparable; actual wall-clock of the toy arithmetic is
+irrelevant (tiny rings).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.backend.costs import CostModel
+from repro.backend.interface import FheBackend, ScaleLike
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+from repro.ckks.params import CkksParameters
+
+
+class ToyBackend(FheBackend):
+    """Exact CKKS execution for validation-scale programs."""
+
+    def __init__(
+        self,
+        params: CkksParameters,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+        real_bootstrap: bool = False,
+    ):
+        super().__init__(params, cost_model)
+        self.context = CkksContext(params, seed=seed)
+        self._bootstrapper = None
+        if real_bootstrap:
+            from repro.ckks.bootstrap import CkksBootstrapper
+
+            self._bootstrapper = CkksBootstrapper(self)
+
+    # -- data movement ---------------------------------------------------
+    def encode(self, values: Sequence[float], level: int, scale: ScaleLike) -> Plaintext:
+        return self.context.encode(values, level=level, scale=Fraction(scale))
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        return self.context.encrypt(plaintext)
+
+    def decrypt(self, ciphertext: Ciphertext) -> np.ndarray:
+        return self.context.decrypt_decode(ciphertext)
+
+    def level_of(self, ciphertext: Ciphertext) -> int:
+        return ciphertext.level
+
+    def scale_of(self, ciphertext: Ciphertext) -> Fraction:
+        return ciphertext.scale
+
+    # -- arithmetic --------------------------------------------------------
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.ledger.charge("hadd", self.costs.hadd(a.level))
+        return self.context.add(a, b)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.ledger.charge("hadd", self.costs.hadd(a.level))
+        return self.context.sub(a, b)
+
+    def add_plain(self, a: Ciphertext, p: Plaintext) -> Ciphertext:
+        self.ledger.charge("padd", self.costs.hadd(a.level))
+        return self.context.add_plain(a, p)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return self.context.negate(a)
+
+    def mul_plain(self, a: Ciphertext, p: Plaintext) -> Ciphertext:
+        self.ledger.charge("pmult", self.costs.pmult(a.level))
+        return self.context.mul_plain(a, p)
+
+    def mul(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.ledger.charge("hmult", self.costs.hmult(a.level))
+        return self.context.mul(a, b)
+
+    def rescale(self, a: Ciphertext) -> Ciphertext:
+        self.ledger.charge("rescale", self.costs.rescale(a.level))
+        return self.context.rescale(a)
+
+    def level_down(self, a: Ciphertext, target_level: int) -> Ciphertext:
+        return self.context.level_down(a, target_level)
+
+    def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
+        steps %= self.slot_count
+        if steps == 0:
+            return a
+        self.ledger.charge("hrot", self.costs.hrot(a.level))
+        return self.context.rotate(a, steps)
+
+    def _rotate_no_charge(self, a: Ciphertext, steps: int) -> Ciphertext:
+        return self.context.rotate(a, steps)
+
+    def conjugate(self, a: Ciphertext) -> Ciphertext:
+        self.ledger.charge("hrot", self.costs.hrot(a.level))
+        return self.context.conjugate(a)
+
+    def bootstrap(self, a: Ciphertext) -> Ciphertext:
+        if self._bootstrapper is not None:
+            return self._bootstrapper.bootstrap(a)
+        self.ledger.charge("bootstrap", self.costs.bootstrap())
+        return self.context.bootstrap(a)

@@ -1,0 +1,462 @@
+"""The toy CKKS context: keygen, encoding, encryption, and evaluation.
+
+Everything here is *exact* RNS-CKKS on small rings: real NTT arithmetic,
+real RLWE encryption, real hybrid key switching with a special prime,
+real rescaling.  The single substituted primitive is bootstrapping,
+which is an oracle refresh with the paper's external contract (see
+``bootstrap`` below and DESIGN.md Section 1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.encoding import get_encoder
+from repro.ckks.keys import KeyChain, SwitchingKey
+from repro.ckks.params import CkksParameters, RingType
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomial
+from repro.utils.rng import SeededRng
+
+
+class CkksContext:
+    """Owns parameters, keys, and all homomorphic operations.
+
+    Args:
+        params: a :class:`CkksParameters` whose primes fit the NTT bound
+            (use :func:`repro.ckks.params.toy_parameters`).
+        seed: RNG seed for keys and encryption noise.
+    """
+
+    def __init__(self, params: CkksParameters, seed: int = 0):
+        if params.ring_type is not RingType.STANDARD:
+            raise ValueError(
+                "the exact toy backend supports the standard ring only; "
+                "conjugate-invariant capacity is modeled by the simulator"
+            )
+        self.params = params
+        self.rng = SeededRng(seed)
+        self.basis = RnsBasis(
+            params.primes, params.ring_degree, num_special=params.num_special_primes
+        )
+        self.encoder = get_encoder(params.ring_degree)
+        self.keys = self._generate_keys()
+
+    # ------------------------------------------------------------------
+    # Key generation
+    # ------------------------------------------------------------------
+    def _full_chain(self):
+        return self.basis.primes
+
+    def _data_chain(self, level: int):
+        return self.basis.primes[: level + 1]
+
+    def _ks_chain(self, level: int):
+        """Prime chain used during key switching at the given level."""
+        return self._data_chain(level) + self.basis.special_primes
+
+    def _uniform_poly(self, primes) -> RnsPolynomial:
+        n = self.params.ring_degree
+        rows = [self.rng.uniform_mod(q, n) for q in primes]
+        return RnsPolynomial(self.basis, primes, np.stack(rows), is_ntt=True)
+
+    def _noise_poly(self, primes) -> RnsPolynomial:
+        n = self.params.ring_degree
+        noise = self.rng.gaussian(self.params.sigma, n)
+        data = np.stack([noise % q for q in primes])
+        poly = RnsPolynomial(self.basis, primes, data, is_ntt=False)
+        return poly.to_ntt()
+
+    def _generate_keys(self) -> KeyChain:
+        n = self.params.ring_degree
+        chain = self._full_chain()
+        if self.params.secret_hamming_weight:
+            secret_coeffs = self.rng.sparse_ternary(
+                n, self.params.secret_hamming_weight
+            )
+        else:
+            secret_coeffs = self.rng.ternary(n)
+        secret = RnsPolynomial(
+            self.basis,
+            chain,
+            np.stack([secret_coeffs % q for q in chain]),
+            is_ntt=False,
+        ).to_ntt()
+        secret_squared = secret * secret
+
+        a = self._uniform_poly(chain)
+        e = self._noise_poly(chain)
+        public = ((-(a * secret)) + e, a)
+
+        relin = self._make_switching_key(secret_squared, secret)
+        return KeyChain(
+            secret=secret,
+            secret_squared=secret_squared,
+            public=public,
+            relin=relin,
+        )
+
+    def _make_switching_key(
+        self, from_key: RnsPolynomial, to_key: RnsPolynomial
+    ) -> SwitchingKey:
+        """Hybrid switching key encrypting P*g_i*from_key per digit i.
+
+        The gadget term has residues (P mod q_j) * delta_ij on data limbs
+        and 0 on the special limbs, so no big-integer work is needed.
+        """
+        chain = self._full_chain()
+        num_digits = self.params.max_level + 1
+        special = self.basis.special_modulus()
+        pairs = []
+        for digit in range(num_digits):
+            a_i = self._uniform_poly(chain)
+            e_i = self._noise_poly(chain)
+            b_i = (-(a_i * to_key)) + e_i
+            gadget_factors = [
+                (special % q) if idx == digit else 0 for idx, q in enumerate(chain)
+            ]
+            b_i = b_i + from_key.scalar_mul(gadget_factors)
+            pairs.append((b_i, a_i))
+        return SwitchingKey(pairs)
+
+    def galois_key(self, exponent: int) -> SwitchingKey:
+        """Fetch (or lazily create) the switching key for sigma_t."""
+        exponent %= 2 * self.params.ring_degree
+        if exponent not in self.keys.galois:
+            rotated_secret = self.keys.secret.automorphism(exponent)
+            self.keys.galois[exponent] = self._make_switching_key(
+                rotated_secret, self.keys.secret
+            )
+        return self.keys.galois[exponent]
+
+    def generate_rotation_keys(self, steps: Iterable[int]) -> None:
+        """Pre-generate rotation keys (the compile-time step of Section 6)."""
+        for step in steps:
+            self.galois_key(self.encoder.rotation_exponent(step))
+
+    # ------------------------------------------------------------------
+    # Encoding and encryption
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return self.params.slot_count
+
+    def encode(
+        self,
+        values: Sequence[float],
+        level: Optional[int] = None,
+        scale: Optional[Fraction] = None,
+    ) -> Plaintext:
+        """Cleartext vector -> plaintext polynomial (paper Section 2.2)."""
+        level = self.params.max_level if level is None else level
+        scale = Fraction(self.params.scale) if scale is None else Fraction(scale)
+        slots = np.zeros(self.slot_count, dtype=np.complex128)
+        values = np.asarray(values)
+        if values.size > self.slot_count:
+            raise ValueError(
+                f"{values.size} values do not fit in {self.slot_count} slots"
+            )
+        slots[: values.size] = values
+        coeffs = self.encoder.slots_to_coeffs(slots) * float(scale)
+        int_coeffs = np.rint(coeffs).astype(object)
+        poly = RnsPolynomial.from_bigint_coeffs(
+            self.basis, self._data_chain(level), int_coeffs
+        )
+        return Plaintext(poly=poly, level=level, scale=scale, slot_count=self.slot_count)
+
+    def decode(self, plaintext: Plaintext) -> np.ndarray:
+        """Plaintext polynomial -> cleartext vector of real parts."""
+        bigints = plaintext.poly.to_bigint_coeffs()
+        coeffs = bigints.astype(np.float64) / float(plaintext.scale)
+        return self.encoder.coeffs_to_slots(coeffs).real
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Public-key RLWE encryption (paper Section 2.3)."""
+        primes = self._data_chain(plaintext.level)
+        pk0 = self._restrict(self.keys.public[0], primes)
+        pk1 = self._restrict(self.keys.public[1], primes)
+        u_coeffs = self.rng.ternary(self.params.ring_degree)
+        u = RnsPolynomial(
+            self.basis, primes, np.stack([u_coeffs % q for q in primes]), is_ntt=False
+        ).to_ntt()
+        e0 = self._noise_poly(primes)
+        e1 = self._noise_poly(primes)
+        c0 = pk0 * u + e0 + plaintext.poly
+        c1 = pk1 * u + e1
+        return Ciphertext(
+            c0=c0,
+            c1=c1,
+            level=plaintext.level,
+            scale=plaintext.scale,
+            slot_count=plaintext.slot_count,
+        )
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        primes = self._data_chain(ciphertext.level)
+        secret = self._restrict(self.keys.secret, primes)
+        message = ciphertext.c0 + ciphertext.c1 * secret
+        if ciphertext.c2 is not None:
+            secret_sq = self._restrict(self.keys.secret_squared, primes)
+            message = message + ciphertext.c2 * secret_sq
+        return Plaintext(
+            poly=message,
+            level=ciphertext.level,
+            scale=ciphertext.scale,
+            slot_count=ciphertext.slot_count,
+        )
+
+    def decode_complex(self, plaintext: Plaintext) -> np.ndarray:
+        """Like :meth:`decode` but keeping the imaginary slot parts."""
+        bigints = plaintext.poly.to_bigint_coeffs()
+        coeffs = bigints.astype(np.float64) / float(plaintext.scale)
+        return self.encoder.coeffs_to_slots(coeffs)
+
+    def decrypt_decode(self, ciphertext: Ciphertext) -> np.ndarray:
+        return self.decode(self.decrypt(ciphertext))
+
+    def mod_raise(self, ct: Ciphertext, declared_scale: Fraction) -> Ciphertext:
+        """Reinterpret a level-0 ciphertext modulo the full data chain.
+
+        Step one of real bootstrapping: the centered coefficient vectors
+        of (c0, c1) are lifted from Z_{q0} to Z_{Q_L}.  Over the integers
+        the decryption identity becomes c0 + c1*s = u + q0*I for a small
+        overflow polynomial I with ||I||_inf <= ||s||_1 / 2 + 1, which
+        EvalMod later removes.  ``declared_scale`` re-labels the payload
+        so downstream slot values read u / declared_scale.
+        """
+        if ct.level != 0:
+            raise ValueError("mod_raise expects a level-0 ciphertext")
+        if ct.c2 is not None:
+            raise ValueError("relinearize before mod_raise")
+        chain = self._data_chain(self.params.max_level)
+
+        def raise_poly(poly: RnsPolynomial) -> RnsPolynomial:
+            centered = poly.to_bigint_coeffs()
+            return RnsPolynomial.from_bigint_coeffs(self.basis, chain, centered)
+
+        return Ciphertext(
+            c0=raise_poly(ct.c0),
+            c1=raise_poly(ct.c1),
+            level=self.params.max_level,
+            scale=Fraction(declared_scale),
+            slot_count=ct.slot_count,
+        )
+
+    def encode_encrypt(self, values: Sequence[float], level=None) -> Ciphertext:
+        return self.encrypt(self.encode(values, level=level))
+
+    def _restrict(self, poly: RnsPolynomial, primes) -> RnsPolynomial:
+        """Restrict a full-chain polynomial to a sub-chain of its primes."""
+        index = [poly.primes.index(q) for q in primes]
+        return RnsPolynomial(self.basis, primes, poly.data[index].copy(), poly.is_ntt)
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations (paper Section 2.5)
+    # ------------------------------------------------------------------
+    def _check_levels(self, a: Ciphertext, b) -> None:
+        if a.level != b.level:
+            raise ValueError(f"level mismatch: {a.level} vs {b.level}")
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """HAdd: SIMD addition of two ciphertexts (same level and scale)."""
+        self._check_levels(a, b)
+        if a.scale != b.scale:
+            raise ValueError(f"scale mismatch: {a.scale} vs {b.scale}")
+        return Ciphertext(
+            c0=a.c0 + b.c0,
+            c1=a.c1 + b.c1,
+            level=a.level,
+            scale=a.scale,
+            slot_count=a.slot_count,
+        )
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_levels(a, b)
+        if a.scale != b.scale:
+            raise ValueError(f"scale mismatch: {a.scale} vs {b.scale}")
+        return Ciphertext(
+            c0=a.c0 - b.c0,
+            c1=a.c1 - b.c1,
+            level=a.level,
+            scale=a.scale,
+            slot_count=a.slot_count,
+        )
+
+    def add_plain(self, a: Ciphertext, p: Plaintext) -> Ciphertext:
+        """PAdd: plaintext + ciphertext (same level and scale)."""
+        self._check_levels(a, p)
+        if a.scale != p.scale:
+            raise ValueError(f"scale mismatch: {a.scale} vs {p.scale}")
+        return Ciphertext(
+            c0=a.c0 + p.poly,
+            c1=a.c1,
+            level=a.level,
+            scale=a.scale,
+            slot_count=a.slot_count,
+        )
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(
+            c0=-a.c0, c1=-a.c1, level=a.level, scale=a.scale, slot_count=a.slot_count
+        )
+
+    def mul_plain(self, a: Ciphertext, p: Plaintext) -> Ciphertext:
+        """PMult: SIMD multiply by a plaintext; output scale multiplies."""
+        self._check_levels(a, p)
+        return Ciphertext(
+            c0=a.c0 * p.poly,
+            c1=a.c1 * p.poly,
+            level=a.level,
+            scale=a.scale * p.scale,
+            slot_count=a.slot_count,
+        )
+
+    def mul(self, a: Ciphertext, b: Ciphertext, relinearize: bool = True) -> Ciphertext:
+        """HMult: ciphertext * ciphertext with relinearization."""
+        self._check_levels(a, b)
+        d0 = a.c0 * b.c0
+        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d2 = a.c1 * b.c1
+        out = Ciphertext(
+            c0=d0,
+            c1=d1,
+            c2=d2,
+            level=a.level,
+            scale=a.scale * b.scale,
+            slot_count=a.slot_count,
+        )
+        return self.relinearize(out) if relinearize else out
+
+    def relinearize(self, ct: Ciphertext) -> Ciphertext:
+        """Reduce a degree-2 ciphertext back to degree 1 via the relin key."""
+        if ct.c2 is None:
+            return ct
+        p0, p1 = self._keyswitch(ct.c2, self.keys.relin, ct.level)
+        return Ciphertext(
+            c0=ct.c0 + p0,
+            c1=ct.c1 + p1,
+            level=ct.level,
+            scale=ct.scale,
+            slot_count=ct.slot_count,
+        )
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        return self.mul(a, a)
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Divide by the last prime; level drops by one (Section 2.5.2)."""
+        if ct.level == 0:
+            raise ValueError("cannot rescale a level-0 ciphertext")
+        last_prime = self._data_chain(ct.level)[-1]
+        return Ciphertext(
+            c0=ct.c0.divide_and_round_by_last(),
+            c1=ct.c1.divide_and_round_by_last(),
+            c2=None if ct.c2 is None else ct.c2.divide_and_round_by_last(),
+            level=ct.level - 1,
+            scale=ct.scale / last_prime,
+            slot_count=ct.slot_count,
+        )
+
+    def level_down(self, ct: Ciphertext, target_level: int) -> Ciphertext:
+        """Drop limbs without dividing (free level adjustment)."""
+        if target_level > ct.level:
+            raise ValueError("cannot raise level without bootstrapping")
+        drop = ct.level - target_level
+        if drop == 0:
+            return ct
+        return Ciphertext(
+            c0=ct.c0.drop_limbs(drop),
+            c1=ct.c1.drop_limbs(drop),
+            c2=None if ct.c2 is None else ct.c2.drop_limbs(drop),
+            level=target_level,
+            scale=ct.scale,
+            slot_count=ct.slot_count,
+        )
+
+    def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        """HRot: cyclic rotation of slots "up" by ``steps`` (Section 2.5.3)."""
+        steps %= self.slot_count
+        if steps == 0:
+            return ct
+        exponent = self.encoder.rotation_exponent(steps)
+        return self._apply_galois(ct, exponent)
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        return self._apply_galois(ct, self.encoder.conjugation_exponent)
+
+    def _apply_galois(self, ct: Ciphertext, exponent: int) -> Ciphertext:
+        if ct.c2 is not None:
+            raise ValueError("relinearize before rotating")
+        key = self.galois_key(exponent)
+        rot0 = ct.c0.automorphism(exponent)
+        rot1 = ct.c1.automorphism(exponent)
+        p0, p1 = self._keyswitch(rot1, key, ct.level)
+        return Ciphertext(
+            c0=rot0 + p0,
+            c1=p1,
+            level=ct.level,
+            scale=ct.scale,
+            slot_count=ct.slot_count,
+        )
+
+    def _keyswitch(self, d: RnsPolynomial, key: SwitchingKey, level: int):
+        """Hybrid key switch of polynomial ``d`` at the given level.
+
+        Decomposes d into per-limb digits, multiplies by the switching
+        key over Q_l * P, and divides by the special modulus P.
+        """
+        ks_chain = self._ks_chain(level)
+        acc0 = RnsPolynomial.zero(self.basis, ks_chain)
+        acc1 = RnsPolynomial.zero(self.basis, ks_chain)
+        d_coeff = d.to_coeff()
+        for digit_index in range(level + 1):
+            q_i = d.primes[digit_index]
+            row = d_coeff.data[digit_index]
+            centered = np.where(row > q_i // 2, row - q_i, row)
+            digit = RnsPolynomial(
+                self.basis,
+                ks_chain,
+                np.stack([centered % q for q in ks_chain]),
+                is_ntt=False,
+            ).to_ntt()
+            b_i, a_i = key.pairs[digit_index]
+            acc0 = acc0 + digit * self._restrict(b_i, ks_chain)
+            acc1 = acc1 + digit * self._restrict(a_i, ks_chain)
+        for _ in range(self.params.num_special_primes):
+            acc0 = acc0.divide_and_round_by_last()
+            acc1 = acc1.divide_and_round_by_last()
+        return acc0, acc1
+
+    # ------------------------------------------------------------------
+    # Bootstrapping (oracle; documented substitution)
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self, ct: Ciphertext, precision_bits: float = 20.0, range_slack: float = 1.5
+    ) -> Ciphertext:
+        """Refresh a ciphertext to level L_eff (paper Section 2.5.4).
+
+        Substitution: full CKKS bootstrapping (CoeffToSlot, EvalMod,
+        SlotToCoeff) is replaced by an oracle refresh that decrypts with
+        the context's own secret key, re-encrypts at L_eff, and injects
+        noise matching published bootstrap precision (~``precision_bits``
+        bits relative to the input range, following Bossuat et al. [11]).
+        The externally visible contract — level reset to L_eff, L_boot
+        levels reserved out of L, bounded added error, and a large
+        latency charged by the cost model — is exactly the paper's.
+        Inputs must be in [-1, 1] (the range-estimation contract).
+        """
+        values = self.decrypt_decode(ct)
+        max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+        if max_abs > range_slack:
+            raise ValueError(
+                f"bootstrap input out of range: max |slot| = {max_abs:.4f} > 1; "
+                "range estimation should have scaled this down"
+            )
+        noise_std = 2.0 ** (-precision_bits)
+        noisy = values + self.rng.normal(0.0, noise_std, values.shape)
+        fresh = self.encode(noisy, level=self.params.effective_level)
+        return self.encrypt(fresh)

@@ -1,0 +1,53 @@
+"""Key material for the toy RNS-CKKS backend.
+
+Hybrid key switching (paper Sections 2.5.2-2.5.3, following Han-Ki [33]
+and Bossuat et al. [11]): a switching key from s' to s consists of one
+RLWE pair per decomposition digit.  With per-limb digit decomposition
+the i-th pair encrypts P * g_i * s', where g_i is the CRT gadget
+(g_i = delta_ij mod q_j, 0 mod P) and P is the special prime.  Summing
+digit * key products and dividing by P (mod-down) keeps the switching
+noise a factor P smaller than the naive method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.rns.poly import RnsPolynomial
+
+
+@dataclass
+class SwitchingKey:
+    """One RLWE pair (b_i, a_i) per decomposition digit, over Q*P."""
+
+    pairs: List[Tuple[RnsPolynomial, RnsPolynomial]]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass
+class KeyChain:
+    """All key material owned by a :class:`repro.ckks.context.CkksContext`.
+
+    Attributes:
+        secret: s in NTT form over the full prime chain.
+        secret_squared: s^2 (for relinearization key generation).
+        public: RLWE encryption of zero used for public-key encryption.
+        relin: switching key s^2 -> s.
+        galois: switching keys sigma_t(s) -> s, keyed by the Galois
+            exponent t (generated lazily, one per distinct rotation).
+    """
+
+    secret: RnsPolynomial
+    secret_squared: RnsPolynomial
+    public: Tuple[RnsPolynomial, RnsPolynomial]
+    relin: SwitchingKey
+    galois: Dict[int, SwitchingKey] = field(default_factory=dict)
+
+    def galois_exponents(self) -> List[int]:
+        return sorted(self.galois)
+
+    def num_rotation_keys(self) -> int:
+        return len(self.galois)

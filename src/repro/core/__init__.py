@@ -1,0 +1,19 @@
+"""Orion's core contributions (paper Sections 3-6).
+
+- ``repro.core.packing``: single-shot multiplexed packing and BSGS
+  matrix-vector products for arbitrary convolutions and FC layers.
+- ``repro.core.approx``: Chebyshev/Remez polynomial approximation of
+  activation functions, including composite minimax sign for ReLU.
+- ``repro.core.placement``: automatic bootstrap placement via shortest
+  paths over level digraphs with SESE black-boxing.
+- ``repro.core.compiler`` / ``repro.core.program``: the end-to-end
+  compile pipeline (trace, BN folding, range estimation, level policy,
+  packing, errorless scale management) and the backend-agnostic
+  executor.
+- ``repro.core.attention``: encrypted self-attention with a polynomial
+  softmax (the extension the paper's conclusion calls for).
+"""
+
+from repro.core.attention import AttentionConfig, EncryptedAttention
+
+__all__ = ["AttentionConfig", "EncryptedAttention"]

@@ -1,0 +1,104 @@
+"""Discrete Remez exchange for minimax odd approximations of sign.
+
+The composite-sign construction (Lee et al. [53], used by the paper for
+ReLU) needs, at each stage, the odd polynomial of degree d minimizing
+max |p(x) - 1| over [a, 1] (odd symmetry then gives p(x) ~ -1 on
+[-1, -a]).  This module implements the classical exchange algorithm on
+a dense grid: solve for equioscillation on the current reference set,
+move the references to the new extrema, repeat until the levels agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approx.chebyshev import ChebyshevPoly, from_power_basis
+
+
+def _odd_vandermonde(x: np.ndarray, degree: int) -> np.ndarray:
+    """Columns x, x^3, ..., x^degree."""
+    powers = np.arange(1, degree + 1, 2)
+    return x[:, None] ** powers[None, :]
+
+
+def remez_odd_sign(
+    degree: int,
+    lower: float,
+    grid_points: int = 4000,
+    max_iterations: int = 50,
+    tolerance: float = 1e-12,
+):
+    """Minimax odd polynomial approximating 1 on [lower, 1].
+
+    Args:
+        degree: odd polynomial degree (only odd monomials used).
+        lower: left end of the approximation interval (the dead zone
+            boundary a; sign is not approximated inside (-a, a)).
+
+    Returns:
+        (ChebyshevPoly, minimax_error): the polynomial (full Chebyshev
+        basis on [-1, 1]) and the achieved equioscillation error.
+    """
+    if degree % 2 == 0:
+        raise ValueError("sign approximations use odd degrees")
+    if not 0.0 < lower < 1.0:
+        raise ValueError("lower must be in (0, 1)")
+    num_coeffs = (degree + 1) // 2
+    num_refs = num_coeffs + 1
+    grid = np.linspace(lower, 1.0, grid_points)
+    # Chebyshev-style initial references on [lower, 1].
+    k = np.arange(num_refs)
+    refs = 0.5 * (lower + 1.0) + 0.5 * (1.0 - lower) * np.cos(
+        np.pi * (num_refs - 1 - k) / (num_refs - 1)
+    )
+
+    coeffs = np.zeros(num_coeffs)
+    error_level = 0.0
+    for _ in range(max_iterations):
+        # Solve p(r_i) + (-1)^i E = 1 for the coefficients and level E.
+        design = np.zeros((num_refs, num_coeffs + 1))
+        design[:, :num_coeffs] = _odd_vandermonde(refs, degree)
+        design[:, num_coeffs] = (-1.0) ** np.arange(num_refs)
+        solution = np.linalg.solve(design, np.ones(num_refs))
+        coeffs = solution[:num_coeffs]
+        error_level = abs(solution[num_coeffs])
+
+        residual = _odd_vandermonde(grid, degree) @ coeffs - 1.0
+        new_refs = _local_extrema(grid, residual, num_refs)
+        max_err = np.abs(residual).max()
+        if max_err - error_level < tolerance:
+            refs = new_refs
+            break
+        refs = new_refs
+
+    power = np.zeros(degree + 1)
+    power[1::2] = coeffs
+    return from_power_basis(power), float(np.abs(
+        _odd_vandermonde(grid, degree) @ coeffs - 1.0
+    ).max())
+
+
+def _local_extrema(grid: np.ndarray, residual: np.ndarray, count: int) -> np.ndarray:
+    """Pick ``count`` alternating extrema of the residual."""
+    candidates = [0]
+    for i in range(1, len(grid) - 1):
+        if (residual[i] - residual[i - 1]) * (residual[i + 1] - residual[i]) <= 0:
+            candidates.append(i)
+    candidates.append(len(grid) - 1)
+    # Keep the largest-magnitude extremum per sign run, preserving order.
+    chosen = []
+    for idx in candidates:
+        if chosen and np.sign(residual[idx]) == np.sign(residual[chosen[-1]]):
+            if abs(residual[idx]) > abs(residual[chosen[-1]]):
+                chosen[-1] = idx
+        else:
+            chosen.append(idx)
+    # If too many alternations, keep the strongest consecutive window.
+    while len(chosen) > count:
+        mags = [abs(residual[i]) for i in chosen]
+        drop = int(np.argmin(mags))
+        chosen.pop(drop)
+    while len(chosen) < count:
+        # Degenerate (shouldn't happen on reasonable grids): pad evenly.
+        chosen.append(len(grid) - 1)
+    return grid[np.array(sorted(set(chosen))[:count])]

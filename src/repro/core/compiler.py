@@ -1,0 +1,661 @@
+"""The Orion compiler: traced network -> executable FHE program.
+
+Pipeline (paper Sections 4-6):
+
+1. **Trace** the network into a layer DAG and parse its SESE region
+   tree (residual blocks; repro.trace).
+2. **Fold batch norms** into their producing convolutions (no level).
+3. **Range-estimate** normalization constants from calibration data and
+   fuse the scale-downs into weights and activation fits.
+4. **Pack** every linear layer with single-shot multiplexing + BSGS
+   (materialized plaintext diagonals, or closed-form counts in
+   ``analyze`` mode for paper-scale networks).
+5. **Approximate** activations: composite minimax sign for ReLU,
+   Chebyshev fits for SiLU/custom, direct squaring for x^2.
+6. **Place bootstraps** with the level-digraph planner and stamp every
+   instruction with its execution level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.costs import CostModel
+from repro.ckks.params import CkksParameters
+from repro.core.approx.chebyshev import ChebyshevPoly, chebyshev_fit
+from repro.core.approx.evaluator import poly_eval_ops
+from repro.core.approx.sign import CompositeSign
+from repro.core.packing.analysis import analyze_conv_packing
+from repro.core.packing.layouts import MultiplexedLayout, VectorLayout
+from repro.core.packing.matvec import build_conv_packing, build_linear_packing
+from repro.core.placement.items import (
+    JoinSpec,
+    LayerSpec,
+    PlacementChain,
+    PlacementRegion,
+)
+from repro.core.placement.planner import PlacementResult, solve_placement
+from repro.core.program import (
+    AddJoinInstr,
+    AliasInstr,
+    FheProgram,
+    Instruction,
+    LinearInstr,
+    MultJoinInstr,
+    PolyInstr,
+    SquareInstr,
+)
+from repro.core.ranges import RangeEstimate, estimate_ranges
+from repro.trace.graph import LayerGraph, TracedValue, tracer
+from repro.trace.sese import Chain, LayerItem, RegionItem, build_region_tree
+from repro.autograd.tensor import Tensor, no_grad
+
+
+@dataclass
+class LayerReport:
+    """Per-layer compile results (drives the benchmark tables)."""
+
+    name: str
+    kind: str
+    rotations: int
+    pmults: int
+    depth: int
+    num_cts: int
+
+
+@dataclass
+class CompiledNetwork:
+    """Everything the benchmarks and executor need."""
+
+    program: Optional[FheProgram]
+    placement: PlacementResult
+    chain: PlacementChain
+    layer_reports: List[LayerReport]
+    multiplicative_depth: int
+    compile_seconds: float = 0.0
+
+    @property
+    def total_rotations(self) -> int:
+        return sum(r.rotations for r in self.layer_reports)
+
+    @property
+    def total_pmults(self) -> int:
+        return sum(r.pmults for r in self.layer_reports)
+
+    @property
+    def num_bootstraps(self) -> int:
+        return self.placement.num_bootstraps
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.placement.modeled_seconds
+
+    def run(self, backend, image: np.ndarray) -> np.ndarray:
+        if self.program is None:
+            raise RuntimeError("network compiled in analyze mode; cannot execute")
+        return self.program.run(backend, image)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "rotations": self.total_rotations,
+            "pmults": self.total_pmults,
+            "bootstraps": self.num_bootstraps,
+            "depth": self.multiplicative_depth,
+            "modeled_seconds": self.modeled_seconds,
+            "placement_seconds": self.placement.solve_seconds,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+class OrionCompiler:
+    """Compiles one orion network for one parameter set."""
+
+    def __init__(
+        self,
+        params: CkksParameters,
+        cost_model: Optional[CostModel] = None,
+        mode: str = "materialize",
+    ):
+        if mode not in ("materialize", "analyze"):
+            raise ValueError("mode must be 'materialize' or 'analyze'")
+        self.params = params
+        self.costs = cost_model or CostModel(params)
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        net,
+        input_shape: Tuple[int, int, int],
+        calibration_batches: Optional[List[np.ndarray]] = None,
+        entry_level: Optional[int] = None,
+    ) -> CompiledNetwork:
+        import time
+
+        start = time.perf_counter()
+        net.eval()
+        graph = self._trace(net, input_shape)
+        tree = build_region_tree(graph)
+        folded = self._fold_batchnorms(graph)
+        ranges = self._ranges(net, graph, calibration_batches, input_shape)
+
+        build = _ProgramBuilder(self, graph, folded, ranges, input_shape)
+        build.walk(tree)
+
+        placement = solve_placement(
+            build.chain,
+            l_eff=self.params.effective_level,
+            boot_cost=self.costs.bootstrap(),
+            entry_level=entry_level,
+        )
+        policy = placement.policy_map()
+        for instr in build.instructions:
+            decision = policy[instr.name]
+            instr.exec_level = decision.exec_level
+            instr.boots_before = decision.bootstrap_before
+
+        program = None
+        if self.mode == "materialize":
+            program = FheProgram(
+                instructions=build.instructions,
+                input_uid=graph.input_uid,
+                output_uid=build.final_uid,
+                input_layout=build.layouts[graph.input_uid],
+                output_layout=build.layouts[build.final_uid],
+                input_norm=ranges.norm(graph.input_uid),
+                output_denorm=ranges.norm(build.final_uid)
+                * build.pending.get(build.final_uid, 1.0),
+                entry_level=placement.entry_level,
+            )
+        return CompiledNetwork(
+            program=program,
+            placement=placement,
+            chain=build.chain,
+            layer_reports=build.reports,
+            multiplicative_depth=build.chain.total_depth(),
+            compile_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _trace(self, net, input_shape) -> LayerGraph:
+        dummy = np.zeros((1,) + tuple(input_shape))
+        with no_grad():
+            with tracer() as graph:
+                out = net(TracedValue(Tensor(dummy), graph.input_uid))
+        if graph.output_uid is None:
+            raise ValueError("tracing recorded no layers — not an orion network?")
+        return graph
+
+    def _fold_batchnorms(self, graph: LayerGraph) -> Dict[int, Tuple]:
+        """node index -> (weight, bias) with adjacent BN folded in.
+
+        Returns entries for linear nodes (possibly folded) and marks
+        folded BN nodes via the special value ("alias",).
+        """
+        folded: Dict[int, Tuple] = {}
+        consumers = graph.consumers()
+        producers = graph.producers()
+        for node in graph.nodes:
+            kind = getattr(node.module, "orion_kind", None)
+            if kind != "batchnorm":
+                continue
+            producer = producers.get(node.inputs[0])
+            only_consumer = len(consumers.get(node.inputs[0], [])) == 1
+            if (
+                producer is not None
+                and only_consumer
+                and getattr(producer.module, "orion_kind", None) == "linear"
+                and hasattr(producer.module, "weight")
+                and producer.module.weight is not None
+                and getattr(producer.module, "kernel_size", None) is not None
+            ):
+                scale, shift = node.module.folded_affine()
+                conv = producer.module
+                weight = conv.weight.data * scale[:, None, None, None]
+                if conv.bias is not None:
+                    base_bias = conv.bias.data
+                else:
+                    base_bias = np.zeros(weight.shape[0])
+                bias = base_bias * scale + shift
+                folded[producer.index] = (weight, bias)
+                folded[node.index] = ("alias",)
+        return folded
+
+    def _ranges(self, net, graph, calibration_batches, input_shape) -> RangeEstimate:
+        if calibration_batches is None:
+            return RangeEstimate({}, margin=1.0)
+        return estimate_ranges(net, graph, calibration_batches)
+
+
+class _ProgramBuilder:
+    """Walks the region tree emitting instructions + placement items."""
+
+    def __init__(self, compiler: OrionCompiler, graph, folded, ranges, input_shape):
+        self.compiler = compiler
+        self.graph = graph
+        self.folded = folded
+        self.ranges = ranges
+        self.instructions: List[Instruction] = []
+        self.reports: List[LayerReport] = []
+        self.chain = PlacementChain()
+        self.layouts: Dict[int, object] = {}
+        self.alias: Dict[int, int] = {}
+        self.pending: Dict[int, float] = {}
+        self.final_uid = graph.input_uid
+        channels, height, width = input_shape
+        self.layouts[graph.input_uid] = MultiplexedLayout(
+            channels, height, width, gap=1, slots=compiler.params.slot_count
+        )
+
+    # -- helpers -----------------------------------------------------------
+    def _resolve(self, uid: int) -> int:
+        while uid in self.alias:
+            uid = self.alias[uid]
+        return uid
+
+    def _num_cts(self, uid: int) -> int:
+        return self.layouts[self._resolve(uid)].num_ciphertexts
+
+    def _poly_cost_fn(self, degree: int, num_cts: int):
+        ops = _POLY_OPS_CACHE.setdefault(degree, poly_eval_ops(degree))
+        costs = self.compiler.costs
+
+        def cost(level: int) -> float:
+            return num_cts * (
+                ops.get("hmult", 0) * costs.hmult(level)
+                + ops.get("pmult", 0) * costs.pmult(level)
+                + ops.get("rescale", 0) * costs.rescale(level)
+                + (ops.get("hadd", 0) + ops.get("padd", 0)) * costs.hadd(level)
+            )
+
+        return cost
+
+    # -- tree walk -----------------------------------------------------------
+    def walk(self, tree: Chain, target: Optional[PlacementChain] = None) -> int:
+        """Emit a chain; returns the uid carrying the chain's output."""
+        chain = self.chain if target is None else target
+        last_uid = None
+        for item in tree.items:
+            if isinstance(item, RegionItem):
+                last_uid = self._emit_region(item, chain)
+            else:
+                last_uid = self._emit_node(item.node, chain)
+        if target is None and last_uid is not None:
+            self.final_uid = self._resolve(last_uid)
+        return last_uid
+
+    def _emit_region(self, region: RegionItem, chain: PlacementChain) -> int:
+        branch_a = PlacementChain()
+        branch_b = PlacementChain()
+        self.walk(region.branch_a, branch_a)
+        self.walk(region.branch_b, branch_b)
+        join = region.join
+        a_uid = self._resolve(join.inputs[0])
+        b_uid = self._resolve(join.inputs[1])
+        if self.pending.get(a_uid, 1.0) != self.pending.get(b_uid, 1.0):
+            raise ValueError("mismatched pending scale factors at a join")
+        self.layouts[join.output] = self.layouts[a_uid]
+        self.pending[join.output] = self.pending.get(a_uid, 1.0)
+        num_cts = self._num_cts(a_uid) + self._num_cts(b_uid)
+        costs = self.compiler.costs
+        spec = JoinSpec(
+            join.name, depth=0, cost_fn=lambda l: costs.hadd(l), boot_units=num_cts
+        )
+        chain.items.append(PlacementRegion(branch_a, branch_b, spec))
+        self.instructions.append(
+            AddJoinInstr(
+                name=join.name,
+                out_uid=join.output,
+                exec_level=0,
+                boots_before=0,
+                a_uid=a_uid,
+                b_uid=b_uid,
+            )
+        )
+        return join.output
+
+    def _emit_node(self, node, chain: PlacementChain) -> int:
+        kind = getattr(node.module, "orion_kind", None)
+        if kind == "linear":
+            return self._emit_linear(node, chain)
+        if kind == "batchnorm":
+            return self._emit_batchnorm(node, chain)
+        if kind == "reshape":
+            in_uid = self._resolve(node.inputs[0])
+            self.alias[node.output] = in_uid
+            return node.output
+        if kind == "relu":
+            return self._emit_relu(node, chain)
+        if kind == "poly":
+            return self._emit_poly(node, chain)
+        raise ValueError(f"unsupported node kind {kind!r} for {node.name}")
+
+    # -- linear layers -----------------------------------------------------
+    def _effective_linear_params(self, node, out_uid: int):
+        """Weights with BN folding, normalization, and pending factors.
+
+        The packed layer computes out/M_out from in/M_in, so weights
+        scale by M_in/M_out (times any pending factor from a preceding
+        Square) and biases divide by M_out — the fused scale-down
+        multiplications of paper Section 6.
+        """
+        module = node.module
+        if node.index in self.folded:
+            weight, bias = self.folded[node.index]
+        else:
+            weight = module.weight.data
+            bias = module.bias.data if module.bias is not None else None
+        in_uid = self._resolve(node.inputs[0])
+        m_in = self.ranges.norm(in_uid)
+        m_out = self.ranges.norm(out_uid)
+        factor = (m_in / m_out) * self.pending.pop(in_uid, 1.0)
+        weight = weight * factor
+        if bias is not None:
+            bias = np.asarray(bias) / m_out
+        return weight, bias, in_uid
+
+    def _emit_linear(self, node, chain: PlacementChain) -> int:
+        module = node.module
+        out_uid = node.output
+        # A folded-away BN redirects the conv's output uid to the BN's.
+        consumers = self.graph.consumers().get(out_uid, [])
+        if len(consumers) == 1 and _is_alias(self.folded.get(consumers[0].index)):
+            out_uid = consumers[0].output
+        name = node.name
+        mode = self.compiler.mode
+        type_name = type(module).__name__
+
+        if type_name in ("AvgPool2d", "AdaptiveAvgPool2d"):
+            in_uid = self._resolve(node.inputs[0])
+            in_layout = self.layouts[in_uid]
+            k = module.kernel_size if type_name == "AvgPool2d" else in_layout.height
+            stride = module.stride if type_name == "AvgPool2d" else k
+            c = in_layout.channels
+            m_in = self.ranges.norm(in_uid)
+            m_out = self.ranges.norm(out_uid)
+            factor = (m_in / m_out) * self.pending.pop(in_uid, 1.0)
+            w_pool = np.full((c, 1, k, k), factor / (k * k))
+            packed, stats = self._pack_conv(
+                w_pool, None, in_layout, (stride, stride), (0, 0), (1, 1),
+                c, name, mode,
+            )
+        else:
+            weight, bias, in_uid = self._effective_linear_params(node, out_uid)
+            in_layout = self.layouts[in_uid]
+            if getattr(module, "kernel_size", None) is not None:  # convolution
+                packed, stats = self._pack_conv(
+                    weight, bias, in_layout, module.stride, module.padding,
+                    module.dilation, module.groups, name, mode,
+                )
+            else:  # fully connected
+                packed, stats = self._pack_fc(weight, bias, in_layout, name, mode)
+
+        out_layout = stats["out_layout"]
+        self.layouts[out_uid] = out_layout
+        if out_uid != node.output:
+            self.alias[node.output] = out_uid
+
+        num_cts_in = in_layout.num_ciphertexts
+        cost_obj = stats["cost_obj"]
+        costs = self.compiler.costs
+        chain.items.append(
+            LayerSpec(
+                name,
+                depth=1,
+                cost_fn=lambda l, c=cost_obj: c.cost(l, costs),
+                boot_units=num_cts_in,
+                cost_obj=cost_obj,
+            )
+        )
+        self.instructions.append(
+            LinearInstr(
+                name=name, out_uid=out_uid, exec_level=0, boots_before=0,
+                in_uid=in_uid, packed=packed,
+            )
+        )
+        self.reports.append(
+            LayerReport(
+                name=name,
+                kind="linear",
+                rotations=stats["rotations"],
+                pmults=stats["pmults"],
+                depth=1,
+                num_cts=out_layout.num_ciphertexts,
+            )
+        )
+        return out_uid
+
+    def _pack_conv(self, weight, bias, in_layout, stride, padding, dilation,
+                   groups, name, mode):
+        if isinstance(stride, int):
+            stride = (stride, stride)
+        if mode == "materialize":
+            packed = build_conv_packing(
+                weight, bias, in_layout, stride=stride, padding=padding,
+                dilation=dilation, groups=groups, name=name,
+            )
+            return packed, {
+                "out_layout": packed.out_layout,
+                "rotations": packed.rotation_count(),
+                "pmults": packed.pmult_count(),
+                "cost_obj": _MatVecCost(packed),
+            }
+        stats = analyze_conv_packing(
+            weight.shape, in_layout, stride=stride, padding=padding,
+            dilation=dilation, groups=groups,
+        )
+        return None, {
+            "out_layout": stats.out_layout,
+            "rotations": stats.rotations,
+            "pmults": stats.pmults,
+            "cost_obj": _StatsCost(stats),
+        }
+
+    def _pack_fc(self, weight, bias, in_layout, name, mode):
+        if mode == "materialize":
+            packed = build_linear_packing(weight, bias, in_layout, name=name)
+            return packed, {
+                "out_layout": packed.out_layout,
+                "rotations": packed.rotation_count(),
+                "pmults": packed.pmult_count(),
+                "cost_obj": _MatVecCost(packed),
+            }
+        from repro.core.packing.analysis import analyze_linear_packing
+
+        stats = analyze_linear_packing(weight.shape[0], in_layout)
+        return None, {
+            "out_layout": stats.out_layout,
+            "rotations": stats.rotations,
+            "pmults": stats.pmults,
+            "cost_obj": _StatsCost(stats),
+        }
+
+    # -- activations -------------------------------------------------------
+    def _emit_relu(self, node, chain: PlacementChain) -> int:
+        module = node.module
+        in_uid = self._resolve(node.inputs[0])
+        out_uid = node.output
+        m_in = self.ranges.norm(in_uid)
+        m_out = self.ranges.norm(out_uid)
+        ratio = m_in / m_out
+        composite = CompositeSign.build(tuple(module.degrees))
+        stages = list(composite.relu_stages())
+        stages[-1] = stages[-1].scaled(ratio)
+
+        num_cts = self._num_cts(in_uid)
+        branch = PlacementChain()
+        prev_uid = in_uid
+        for stage_index, stage in enumerate(stages):
+            stage_name = f"{node.name}_sign{stage_index}"
+            stage_uid = self.graph.fresh_uid()
+            self.layouts[stage_uid] = self.layouts[in_uid]
+            branch.items.append(
+                LayerSpec(
+                    stage_name,
+                    depth=stage.depth,
+                    cost_fn=self._poly_cost_fn(stage.degree, num_cts),
+                    boot_units=num_cts,
+                )
+            )
+            self.instructions.append(
+                PolyInstr(
+                    name=stage_name, out_uid=stage_uid, exec_level=0,
+                    boots_before=0, in_uid=prev_uid, poly=stage,
+                    target_kind="none",
+                )
+            )
+            prev_uid = stage_uid
+
+        join_name = f"{node.name}_mult"
+        costs = self.compiler.costs
+        join = JoinSpec(
+            join_name,
+            depth=2,  # scale-pin the sign branch (1) + the multiply (1)
+            cost_fn=lambda l: num_cts
+            * (costs.hmult(l) + costs.pmult(l) + 2 * costs.rescale(l)),
+            boot_units=2 * num_cts,
+        )
+        chain.items.append(PlacementRegion(branch, PlacementChain(), join))
+        self.instructions.append(
+            MultJoinInstr(
+                name=join_name, out_uid=out_uid, exec_level=0, boots_before=0,
+                x_uid=in_uid, sign_uid=prev_uid,
+            )
+        )
+        self.layouts[out_uid] = self.layouts[in_uid]
+        total_depth = sum(s.depth for s in stages) + 2
+        self.reports.append(
+            LayerReport(node.name, "relu", 0, 0, total_depth, num_cts)
+        )
+        return out_uid
+
+    def _emit_poly(self, node, chain: PlacementChain) -> int:
+        module = node.module
+        in_uid = self._resolve(node.inputs[0])
+        out_uid = node.output
+        self.layouts[out_uid] = self.layouts[in_uid]
+        num_cts = self._num_cts(in_uid)
+        m_in = self.ranges.norm(in_uid)
+        m_out = self.ranges.norm(out_uid)
+        costs = self.compiler.costs
+
+        if type(module).__name__ == "Square":
+            self.pending[out_uid] = (m_in * m_in / m_out) * self.pending.pop(
+                in_uid, 1.0
+            )
+            chain.items.append(
+                LayerSpec(
+                    node.name,
+                    depth=1,
+                    cost_fn=lambda l: num_cts * (costs.hmult(l) + costs.rescale(l)),
+                    boot_units=num_cts,
+                )
+            )
+            self.instructions.append(
+                SquareInstr(
+                    name=node.name, out_uid=out_uid, exec_level=0,
+                    boots_before=0, in_uid=in_uid,
+                )
+            )
+            self.reports.append(LayerReport(node.name, "square", 0, 0, 1, num_cts))
+            return out_uid
+
+        degree = module.degree
+        exact = module.exact_fn
+        poly = chebyshev_fit(lambda u: exact(m_in * u) / m_out, degree)
+        # +1 level: the output is pinned back to scale Delta so the
+        # between-layer invariant holds (normalize_scale in PolyInstr).
+        poly_depth = poly.depth + 1
+        chain.items.append(
+            LayerSpec(
+                node.name,
+                depth=poly_depth,
+                cost_fn=self._poly_cost_fn(degree, num_cts),
+                boot_units=num_cts,
+            )
+        )
+        self.instructions.append(
+            PolyInstr(
+                name=node.name, out_uid=out_uid, exec_level=0, boots_before=0,
+                in_uid=in_uid, poly=poly,
+            )
+        )
+        self.reports.append(LayerReport(node.name, "poly", 0, 0, poly_depth, num_cts))
+        return out_uid
+
+    def _emit_batchnorm(self, node, chain: PlacementChain) -> int:
+        if _is_alias(self.folded.get(node.index)):
+            # Folded into the producing conv; uid already redirected.
+            return node.output
+        # Standalone BN: a depthwise 1x1 convolution (one level).
+        in_uid = self._resolve(node.inputs[0])
+        in_layout = self.layouts[in_uid]
+        scale, shift = node.module.folded_affine()
+        c = in_layout.channels
+        weight = scale.reshape(c, 1, 1, 1)
+        m_in = self.ranges.norm(in_uid)
+        m_out = self.ranges.norm(node.output)
+        weight = weight * (m_in / m_out) * self.pending.pop(in_uid, 1.0)
+        bias = shift / m_out
+        packed, stats = self._pack_conv(
+            weight, bias, in_layout, (1, 1), (0, 0), (1, 1), c,
+            node.name, self.compiler.mode,
+        )
+        self.layouts[node.output] = stats["out_layout"]
+        costs = self.compiler.costs
+        cost_obj = stats["cost_obj"]
+        chain.items.append(
+            LayerSpec(
+                node.name, depth=1,
+                cost_fn=lambda l, co=cost_obj: co.cost(l, costs),
+                boot_units=in_layout.num_ciphertexts,
+            )
+        )
+        self.instructions.append(
+            LinearInstr(
+                name=node.name, out_uid=node.output, exec_level=0,
+                boots_before=0, in_uid=in_uid, packed=packed,
+            )
+        )
+        self.reports.append(
+            LayerReport(node.name, "batchnorm", stats["rotations"],
+                        stats["pmults"], 1, in_layout.num_ciphertexts)
+        )
+        return node.output
+
+
+class _MatVecCost:
+    def __init__(self, packed):
+        self.packed = packed
+
+    def cost(self, level, cost_model):
+        return self.packed.cost(level, cost_model)
+
+
+class _StatsCost:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def cost(self, level, cost_model):
+        return self.stats.cost(level, cost_model)
+
+
+class _FcStats:
+    def __init__(self, rotations, pmults):
+        self.rotations = rotations
+        self.pmults = pmults
+
+    def cost(self, level, cost_model):
+        baby = max(1, self.rotations // 2)
+        giant = max(0, self.rotations - baby)
+        return cost_model.matvec_cost(level, self.pmults, baby, giant)
+
+
+_POLY_OPS_CACHE: Dict[int, Dict[str, int]] = {}
+
+
+def _is_alias(entry) -> bool:
+    return isinstance(entry, tuple) and len(entry) == 1 and entry[0] == "alias"

@@ -1,0 +1,164 @@
+"""Ciphertext slot layouts for packed tensors.
+
+A :class:`MultiplexedLayout` generalizes the raster-scan layout with a
+*gap* parameter g (paper Section 4.3 / Figure 5): the spatial grid has
+g x g sub-blocks per logical pixel, holding g^2 interleaved channels.
+A fresh image is gap 1 (plain raster scan); every stride-s convolution
+multiplies the gap by s while keeping the ciphertext densely packed.
+Tensors larger than one ciphertext span multiple ciphertexts in
+contiguous slot order (Section 4.3, "Multi-ciphertext").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.intmath import ceil_div
+
+
+@dataclass(frozen=True)
+class MultiplexedLayout:
+    """Placement of a (channels, height, width) tensor into slots.
+
+    Attributes:
+        channels, height, width: logical tensor dimensions.
+        gap: multiplexing factor g; g^2 channels interleave per spatial
+            sub-block.
+        slots: slot count n of one ciphertext.
+    """
+
+    channels: int
+    height: int
+    width: int
+    gap: int
+    slots: int
+
+    # -- geometry -----------------------------------------------------
+    @property
+    def grid_height(self) -> int:
+        return self.height * self.gap
+
+    @property
+    def grid_width(self) -> int:
+        return self.width * self.gap
+
+    @property
+    def channels_per_block(self) -> int:
+        return self.gap * self.gap
+
+    @property
+    def num_channel_blocks(self) -> int:
+        return ceil_div(self.channels, self.channels_per_block)
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_channel_blocks * self.grid_height * self.grid_width
+
+    @property
+    def num_ciphertexts(self) -> int:
+        return max(1, ceil_div(self.total_slots, self.slots))
+
+    @property
+    def logical_length(self) -> int:
+        return self.channels * self.height * self.width
+
+    # -- index mapping ---------------------------------------------------
+    def slot(self, c, y, x):
+        """Global slot index of logical element (c, y, x) (vectorized).
+
+        slot = t*(G_h*G_w) + (y*g + uy)*G_w + (x*g + ux), where
+        t = c // g^2 and (uy, ux) locate c % g^2 inside the sub-block.
+        """
+        c = np.asarray(c)
+        y = np.asarray(y)
+        x = np.asarray(x)
+        g = self.gap
+        t = c // self.channels_per_block
+        u = c % self.channels_per_block
+        uy = u // g
+        ux = u % g
+        return (
+            t * (self.grid_height * self.grid_width)
+            + (y * g + uy) * self.grid_width
+            + (x * g + ux)
+        )
+
+    def slot_of_logical(self, index):
+        """Slot of a raster-scan logical index c*(h*w) + y*w + x."""
+        index = np.asarray(index)
+        hw = self.height * self.width
+        c = index // hw
+        rem = index % hw
+        return self.slot(c, rem // self.width, rem % self.width)
+
+    # -- tensor <-> slot vectors --------------------------------------------
+    def pack(self, tensor: np.ndarray) -> list:
+        """Pack a (C,H,W) tensor into ``num_ciphertexts`` slot vectors."""
+        if tensor.shape != (self.channels, self.height, self.width):
+            raise ValueError(
+                f"tensor shape {tensor.shape} does not match layout "
+                f"({self.channels},{self.height},{self.width})"
+            )
+        flat = np.zeros(self.num_ciphertexts * self.slots)
+        c, y, x = np.meshgrid(
+            np.arange(self.channels),
+            np.arange(self.height),
+            np.arange(self.width),
+            indexing="ij",
+        )
+        flat[self.slot(c, y, x).ravel()] = tensor.ravel()
+        return [
+            flat[i * self.slots : (i + 1) * self.slots]
+            for i in range(self.num_ciphertexts)
+        ]
+
+    def unpack(self, vectors: list) -> np.ndarray:
+        """Inverse of :meth:`pack`."""
+        flat = np.concatenate(vectors)
+        c, y, x = np.meshgrid(
+            np.arange(self.channels),
+            np.arange(self.height),
+            np.arange(self.width),
+            indexing="ij",
+        )
+        return flat[self.slot(c, y, x).ravel()].reshape(
+            self.channels, self.height, self.width
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiplexedLayout(c={self.channels}, h={self.height}, "
+            f"w={self.width}, gap={self.gap}, cts={self.num_ciphertexts})"
+        )
+
+
+@dataclass(frozen=True)
+class VectorLayout:
+    """A flat vector occupying the first ``length`` slots."""
+
+    length: int
+    slots: int
+
+    @property
+    def num_ciphertexts(self) -> int:
+        return max(1, ceil_div(self.length, self.slots))
+
+    @property
+    def logical_length(self) -> int:
+        return self.length
+
+    def slot_of_logical(self, index):
+        return np.asarray(index)
+
+    def pack(self, vector: np.ndarray) -> list:
+        flat = np.zeros(self.num_ciphertexts * self.slots)
+        flat[: self.length] = np.asarray(vector).ravel()
+        return [
+            flat[i * self.slots : (i + 1) * self.slots]
+            for i in range(self.num_ciphertexts)
+        ]
+
+    def unpack(self, vectors: list) -> np.ndarray:
+        return np.concatenate(vectors)[: self.length]

@@ -1,0 +1,432 @@
+"""Packed matrix-vector products: construction and execution.
+
+``build_conv_packing`` turns any convolution (stride/padding/dilation/
+groups) into a :class:`PackedMatVec`: the single-shot multiplexed
+formulation of paper Section 4.  The weight matrix rows are permuted so
+the output lands in a dense multiplexed layout with gap g_out = g_in *
+stride, and the whole mask-and-collect step of Lee et al. is fused into
+the (pre-processable) weight plaintexts — one multiplicative level per
+convolution, strided or not.
+
+``build_linear_packing`` handles fully-connected layers, choosing
+between the plain diagonal form and Gazelle's hybrid method (replicated
+squat rows + rotate-and-sum fold) by modeled rotation count.
+
+Execution uses double-hoisted BSGS on any :class:`FheBackend`: baby
+rotations of each input ciphertext are hoisted (shared key-switch
+decomposition); diagonals are pre-rotated at build time so giant steps
+apply to accumulated sums (Eq. 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.packing.bsgs import BsgsPlan, plan_bsgs
+from repro.core.packing.layouts import MultiplexedLayout, VectorLayout
+from repro.utils.intmath import int_log2, next_power_of_two
+
+
+@dataclass
+class PackedMatVec:
+    """A compiled homomorphic linear layer.
+
+    Attributes:
+        slots: ciphertext slot count n.
+        num_in: input ciphertexts.
+        num_out: output ciphertexts.
+        diags: (out_block, in_block) -> {offset -> plaintext vector}.
+        plan: the BSGS split shared by all blocks.
+        fold_shifts: rotate-and-sum shifts applied after accumulation
+            (Gazelle hybrid; empty for the standard path).
+        bias_vecs: optional per-output-block bias slot vectors.
+        out_layout: layout of the produced tensor.
+        name: label for ledger phases.
+    """
+
+    slots: int
+    num_in: int
+    num_out: int
+    diags: Dict[Tuple[int, int], Dict[int, np.ndarray]]
+    plan: BsgsPlan
+    out_layout: object
+    fold_shifts: Tuple[int, ...] = ()
+    bias_vecs: Optional[List[np.ndarray]] = None
+    name: str = "linear"
+
+    # -- op-count queries (paper Tables 2-4) ---------------------------------
+    def _babies_for_in_block(self, bi: int) -> List[int]:
+        offsets = set()
+        for (bo, bi2), dmap in self.diags.items():
+            if bi2 == bi:
+                offsets.update(dmap)
+        return sorted({d % self.plan.n1 for d in offsets})
+
+    def _giants_for_out_block(self, bo: int) -> List[int]:
+        offsets = set()
+        for (bo2, bi), dmap in self.diags.items():
+            if bo2 == bo:
+                offsets.update(dmap)
+        return sorted({d - (d % self.plan.n1) for d in offsets})
+
+    def rotation_count(self) -> int:
+        total = 0
+        for bi in range(self.num_in):
+            total += sum(1 for b in self._babies_for_in_block(bi) if b)
+        for bo in range(self.num_out):
+            total += sum(1 for g in self._giants_for_out_block(bo) if g)
+        total += len(self.fold_shifts) * self.num_out
+        return total
+
+    def pmult_count(self) -> int:
+        return sum(len(dmap) for dmap in self.diags.values())
+
+    def counts(self) -> Tuple[int, int, int]:
+        """(num_diagonals, num_baby_rotations, num_giant_rotations)."""
+        babies = sum(
+            sum(1 for b in self._babies_for_in_block(bi) if b)
+            for bi in range(self.num_in)
+        )
+        giants = sum(
+            sum(1 for g in self._giants_for_out_block(bo) if g)
+            for bo in range(self.num_out)
+        ) + len(self.fold_shifts) * self.num_out
+        return self.pmult_count(), babies, giants
+
+    def cost(self, level: int, cost_model, hoisting: str = "double") -> float:
+        """Modeled latency at the given level (drives placement)."""
+        diag, baby, giant = self.counts()
+        return cost_model.matvec_cost(level, diag, baby, giant, hoisting)
+
+    # -- execution -------------------------------------------------------------
+    def execute(self, backend, in_cts: List, pt_scale: Fraction, hoisting: str = "double"):
+        """Run the matvec homomorphically.
+
+        Args:
+            backend: any :class:`FheBackend`.
+            in_cts: input ciphertexts (all at the same level and scale).
+            pt_scale: scale for the weight plaintexts; the compiler sets
+                q_level * Delta / input_scale so the rescale after this
+                layer lands exactly on Delta (errorless scale policy).
+
+        Returns:
+            list of output ciphertexts at level-1, scale input*pt/q.
+        """
+        level = backend.level_of(in_cts[0])
+        rotated: Dict[int, Dict[int, object]] = {}
+        for bi in range(self.num_in):
+            babies = self._babies_for_in_block(bi)
+            rotated[bi] = backend.rotate_group(in_cts[bi], babies, hoisting=hoisting)
+
+        outputs = []
+        for bo in range(self.num_out):
+            acc_by_giant: Dict[int, object] = {}
+            for bi in range(self.num_in):
+                dmap = self.diags.get((bo, bi))
+                if not dmap:
+                    continue
+                for offset, vec in dmap.items():
+                    giant, baby = self.plan.split(offset)
+                    pt = backend.encode(vec, level, pt_scale)
+                    term = backend.mul_plain(rotated[bi][baby], pt)
+                    if giant in acc_by_giant:
+                        acc_by_giant[giant] = backend.add(acc_by_giant[giant], term)
+                    else:
+                        acc_by_giant[giant] = term
+            if not acc_by_giant:
+                zero_pt = backend.encode(np.zeros(self.slots), level, pt_scale)
+                acc_by_giant[0] = backend.mul_plain(in_cts[0], zero_pt)
+            total = None
+            for giant, part in sorted(acc_by_giant.items()):
+                part = backend.rotate(part, giant)
+                total = part if total is None else backend.add(total, part)
+            total = backend.rescale(total)
+            for shift in self.fold_shifts:
+                total = backend.add(total, backend.rotate(total, shift))
+            if self.bias_vecs is not None:
+                bias_pt = backend.encode(
+                    self.bias_vecs[bo], backend.level_of(total), backend.scale_of(total)
+                )
+                total = backend.add_plain(total, bias_pt)
+            outputs.append(total)
+        return outputs
+
+    def execute_cleartext(self, in_vecs: List[np.ndarray]) -> List[np.ndarray]:
+        """Reference execution with plain numpy (validates packing)."""
+        outputs = []
+        for bo in range(self.num_out):
+            acc = np.zeros(self.slots)
+            for bi in range(self.num_in):
+                dmap = self.diags.get((bo, bi))
+                if not dmap:
+                    continue
+                for offset, vec in dmap.items():
+                    giant, baby = self.plan.split(offset)
+                    acc_term = vec * np.roll(in_vecs[bi], -baby)
+                    acc += np.roll(acc_term, -giant)
+            for shift in self.fold_shifts:
+                acc = acc + np.roll(acc, -shift)
+            if self.bias_vecs is not None:
+                acc = acc + self.bias_vecs[bo]
+            outputs.append(acc)
+        return outputs
+
+
+# ---------------------------------------------------------------------------
+# Construction from raw (out_slot, in_slot, value) entry streams
+# ---------------------------------------------------------------------------
+class _DiagAccumulator:
+    """Accumulates matrix entries into per-block diagonal vectors."""
+
+    def __init__(self, slots: int, pre_rotate: bool = True):
+        self.slots = slots
+        self.vecs: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+    def add_entries(self, out_slot: np.ndarray, in_slot: np.ndarray, value: np.ndarray):
+        n = self.slots
+        out_slot = out_slot.ravel()
+        in_slot = in_slot.ravel()
+        value = value.ravel()
+        if out_slot.size == 0:
+            return
+        bo = out_slot // n
+        bi = in_slot // n
+        out_local = out_slot % n
+        diag = (in_slot - out_slot) % n
+        keys = (bo * (bi.max() + 1) + bi) * n + diag
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        for idx, key in enumerate(unique_keys):
+            mask = inverse == idx
+            k_diag = int(key % n)
+            rest = int(key // n)
+            k_bi = rest % (int(bi.max()) + 1)
+            k_bo = rest // (int(bi.max()) + 1)
+            vec = self.vecs.get((k_bo, k_bi, k_diag))
+            if vec is None:
+                vec = np.zeros(n)
+                self.vecs[(k_bo, k_bi, k_diag)] = vec
+            np.add.at(vec, out_local[mask], value[mask])
+
+    def finalize(self, num_in: int, num_out: int, out_layout, bias_vecs,
+                 fold_shifts=(), name="linear") -> PackedMatVec:
+        offsets = sorted({diag for (_, _, diag) in self.vecs})
+        plan = plan_bsgs(offsets, self.slots)
+        diags: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        for (bo, bi, diag), vec in self.vecs.items():
+            giant, _ = plan.split(diag)
+            # Pre-rotate the diagonal down by the giant step (Eq. 1).
+            diags.setdefault((bo, bi), {})[diag] = np.roll(vec, giant)
+        return PackedMatVec(
+            slots=self.slots,
+            num_in=num_in,
+            num_out=num_out,
+            diags=diags,
+            plan=plan,
+            out_layout=out_layout,
+            fold_shifts=tuple(fold_shifts),
+            bias_vecs=bias_vecs,
+            name=name,
+        )
+
+
+def _conv_geometry(in_layout: MultiplexedLayout, kernel, stride, padding, dilation):
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    dh, dw = dilation
+    out_h = (in_layout.height + 2 * ph - dh * (kh - 1) - 1) // sh + 1
+    out_w = (in_layout.width + 2 * pw - dw * (kw - 1) - 1) // sw + 1
+    return out_h, out_w
+
+
+def build_conv_packing(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    in_layout: MultiplexedLayout,
+    stride=(1, 1),
+    padding=(0, 0),
+    dilation=(1, 1),
+    groups: int = 1,
+    name: str = "conv",
+    force_hybrid: Optional[bool] = None,
+) -> PackedMatVec:
+    """Compile a convolution into a single-shot multiplexed matvec.
+
+    The output layout's gap is g_in * stride (paper Figure 5b): strided
+    convolutions densify into the channel dimension instead of leaving
+    slot gaps, and the row permutation that achieves this is folded into
+    the weight matrix — consuming one level total.  For outputs much
+    smaller than the slot count, the Gazelle hybrid variant (replicated
+    rows + rotate-and-sum fold; paper Section 8.2) is also built and the
+    cheaper of the two (by rotation count) is kept.
+    """
+    if force_hybrid is None:
+        plain = build_conv_packing(
+            weight, bias, in_layout, stride, padding, dilation, groups,
+            name, force_hybrid=False,
+        )
+        probe_m2 = _conv_hybrid_modulus(in_layout, plain.out_layout)
+        if probe_m2 is None:
+            return plain
+        hybrid = build_conv_packing(
+            weight, bias, in_layout, stride, padding, dilation, groups,
+            name, force_hybrid=True,
+        )
+        return hybrid if hybrid.rotation_count() < plain.rotation_count() else plain
+    c_out, c_in_g, kh, kw = weight.shape
+    sh, sw = stride
+    if sh != sw:
+        raise ValueError("anisotropic strides are not supported")
+    out_h, out_w = _conv_geometry(in_layout, (kh, kw), stride, padding, dilation)
+    out_layout = MultiplexedLayout(
+        channels=c_out,
+        height=out_h,
+        width=out_w,
+        gap=in_layout.gap * sh,
+        slots=in_layout.slots,
+    )
+    n = in_layout.slots
+    # Gazelle hybrid (paper Section 8.2): when the output is much
+    # smaller than the slot count, replicate the matrix rows modulo the
+    # padded output length; diagonal offsets then collapse into [0, m2)
+    # and a log2(n/m2) rotate-and-sum fold finishes the product.
+    hybrid_m2 = _conv_hybrid_modulus(in_layout, out_layout) if force_hybrid else None
+    if force_hybrid and hybrid_m2 is None:
+        raise ValueError("hybrid conv packing requires a small single-ct output")
+    acc = _DiagAccumulator(n)
+    co_per_group = c_out // groups
+    ci_per_group = in_layout.channels // groups if groups > 1 else c_in_g
+    co_idx = np.arange(c_out)
+    group_of_co = co_idx // co_per_group
+
+    oy, ox = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+    out_slot_all = out_layout.slot(
+        co_idx[:, None, None], oy[None], ox[None]
+    )  # (c_out, out_h, out_w)
+
+    for dy in range(kh):
+        for dx in range(kw):
+            iy = oy * sh + dy * dilation[0] - padding[0]
+            ix = ox * sw + dx * dilation[1] - padding[1]
+            valid = (
+                (iy >= 0)
+                & (iy < in_layout.height)
+                & (ix >= 0)
+                & (ix < in_layout.width)
+            )
+            if not valid.any():
+                continue
+            iy_v = iy[valid]
+            ix_v = ix[valid]
+            out_slot_v = out_slot_all[:, valid]  # (c_out, n_valid)
+            for ci_rel in range(c_in_g):
+                ci_global = group_of_co * ci_per_group + ci_rel  # (c_out,)
+                in_slot_v = in_layout.slot(
+                    ci_global[:, None], iy_v[None, :], ix_v[None, :]
+                )
+                values = np.broadcast_to(
+                    weight[:, ci_rel, dy, dx][:, None], in_slot_v.shape
+                )
+                if hybrid_m2 is not None:
+                    offs = (in_slot_v - out_slot_v) % hybrid_m2
+                    j = (in_slot_v - offs) % n
+                    acc.add_entries(j, (j + offs) % n, values)
+                else:
+                    acc.add_entries(out_slot_v, in_slot_v, values)
+
+    bias_vecs = None
+    if bias is not None:
+        bias_tensor = np.broadcast_to(
+            bias[:, None, None], (c_out, out_h, out_w)
+        )
+        bias_vecs = out_layout.pack(np.array(bias_tensor))
+    fold_shifts = ()
+    if hybrid_m2 is not None:
+        fold_shifts = tuple(n >> (i + 1) for i in range(int_log2(n // hybrid_m2)))
+    return acc.finalize(
+        num_in=in_layout.num_ciphertexts,
+        num_out=out_layout.num_ciphertexts,
+        out_layout=out_layout,
+        bias_vecs=bias_vecs,
+        fold_shifts=fold_shifts,
+        name=name,
+    )
+
+
+def _conv_hybrid_modulus(in_layout: MultiplexedLayout, out_layout) -> Optional[int]:
+    """Padded output length m2 when the Gazelle hybrid applies."""
+    n = in_layout.slots
+    if in_layout.num_ciphertexts != 1 or out_layout.num_ciphertexts != 1:
+        return None
+    total = out_layout.total_slots
+    if total > n // 2:
+        return None
+    return next_power_of_two(total)
+
+
+def build_linear_packing(
+    matrix: np.ndarray,
+    bias: Optional[np.ndarray],
+    in_layout,
+    name: str = "fc",
+    force_mode: Optional[str] = None,
+) -> PackedMatVec:
+    """Compile a dense (m x L) matrix over a packed input layout.
+
+    Chooses between the plain diagonal form and the Gazelle hybrid
+    (paper Section 8.2: "for small networks ... we rely on Gazelle's
+    hybrid method"): replicate the squat matrix's rows modulo m2 (m
+    padded to a power of two), BSGS over the m2 diagonal offsets, then
+    rotate-and-sum fold log2(n/m2) times.
+    """
+    m, logical_len = matrix.shape
+    if logical_len != in_layout.logical_length:
+        raise ValueError(
+            f"matrix width {logical_len} does not match layout length "
+            f"{in_layout.logical_length}"
+        )
+    n = in_layout.slots
+    out_layout = VectorLayout(m, n)
+    rows, cols = np.nonzero(matrix)
+    values = matrix[rows, cols]
+    in_slots = in_layout.slot_of_logical(cols)
+
+    single_block = in_layout.num_ciphertexts == 1 and m <= n // 2
+    use_hybrid = force_mode == "hybrid" or (
+        force_mode is None and single_block and m <= n // 4
+    )
+    if use_hybrid and not single_block:
+        raise ValueError("hybrid method requires a single-ciphertext input")
+
+    acc = _DiagAccumulator(n)
+    if use_hybrid:
+        m2 = next_power_of_two(m)
+        offsets = (in_slots - rows) % m2
+        j = (in_slots - offsets) % n
+        # Entries land at row j with diagonal offset k in [0, m2); the
+        # input slot (j + k) mod n stays inside the single ciphertext.
+        acc.add_entries(j, (j + offsets) % n, values)
+        fold_shifts = tuple(n >> (i + 1) for i in range(int_log2(n // m2)))
+    else:
+        acc.add_entries(rows, in_slots, values)
+        fold_shifts = ()
+
+    bias_vecs = out_layout.pack(bias) if bias is not None else None
+    packed = acc.finalize(
+        num_in=in_layout.num_ciphertexts,
+        num_out=out_layout.num_ciphertexts,
+        out_layout=out_layout,
+        bias_vecs=bias_vecs,
+        fold_shifts=fold_shifts,
+        name=name,
+    )
+    if force_mode is None and not use_hybrid and single_block and m <= n // 2:
+        # Also try hybrid and keep the cheaper plan (by rotation count).
+        alt = build_linear_packing(matrix, bias, in_layout, name, force_mode="hybrid")
+        if alt.rotation_count() < packed.rotation_count():
+            return alt
+    return packed

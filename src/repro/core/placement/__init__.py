@@ -1,0 +1,35 @@
+"""Automatic bootstrap placement (paper Section 5).
+
+The network is a nested chain of items (layers and SESE regions).  For
+each item we build a *level digraph* transition matrix T[a][o]: the
+minimum latency to go from "a levels available before the item" to "o
+levels available after it", where every entry already minimizes over
+the execution level (a layer may run below the available level — paper
+Fig. 6b: "even when a bootstrap occurs, the subsequent layer can still
+be performed at l < L_eff") and over inserting a bootstrap first.
+Chains compose by (min, +) matrix products; regions are black-boxed by
+solving both branches jointly for every (entry, exit) level pair and
+collapsing to an aggregate matrix (paper Fig. 6d).  Complexity is
+O(L_eff^2 * depth) — linear in network depth (paper Table 5).
+"""
+
+from repro.core.placement.items import (
+    JoinSpec,
+    LayerSpec,
+    PlacementChain,
+    PlacementRegion,
+)
+from repro.core.placement.planner import LevelPolicy, PlacementResult, solve_placement
+from repro.core.placement.baselines import dacapo_style_placement, lazy_placement
+
+__all__ = [
+    "LayerSpec",
+    "JoinSpec",
+    "PlacementChain",
+    "PlacementRegion",
+    "LevelPolicy",
+    "PlacementResult",
+    "solve_placement",
+    "lazy_placement",
+    "dacapo_style_placement",
+]

@@ -1,0 +1,77 @@
+"""Placement problem structure: layers, joins, regions, chains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+
+@dataclass
+class LayerSpec:
+    """A layer in the placement problem.
+
+    Attributes:
+        name: stable identifier (matches the program instruction).
+        depth: multiplicative levels consumed.
+        cost_fn: level -> modeled seconds for executing at that input
+            level (paper Fig. 6b node weights).
+        boot_units: bootstrap operations required to refresh this item's
+            input — the number of ciphertexts the value spans (multi-
+            ciphertext tensors, Section 4.3), doubled at joins because
+            both incoming values must be refreshed.
+    """
+
+    name: str
+    depth: int
+    cost_fn: Callable[[int], float]
+    boot_units: int = 1
+    cost_obj: object = None  # optional packing stats for re-pricing
+
+
+@dataclass
+class JoinSpec(LayerSpec):
+    """A join merging two branches (on.Add, or the ReLU x*sign multiply)."""
+
+
+@dataclass
+class PlacementRegion:
+    """A fork/join SESE region (paper Fig. 6c)."""
+
+    branch_a: "PlacementChain"
+    branch_b: "PlacementChain"
+    join: JoinSpec
+
+
+Item = Union[LayerSpec, PlacementRegion]
+
+
+@dataclass
+class PlacementChain:
+    """Straight-line sequence of placement items."""
+
+    items: List[Item] = field(default_factory=list)
+
+    def total_depth(self) -> int:
+        """Depth of the longest root-to-leaf multiplication chain
+        (paper Table 2 'Depth' column)."""
+        depth = 0
+        for item in self.items:
+            if isinstance(item, PlacementRegion):
+                depth += max(
+                    item.branch_a.total_depth(), item.branch_b.total_depth()
+                )
+                depth += item.join.depth
+            else:
+                depth += item.depth
+        return depth
+
+    def layer_names(self) -> List[str]:
+        names = []
+        for item in self.items:
+            if isinstance(item, PlacementRegion):
+                names.extend(item.branch_a.layer_names())
+                names.extend(item.branch_b.layer_names())
+                names.append(item.join.name)
+            else:
+                names.append(item.name)
+        return names

@@ -1,0 +1,287 @@
+"""The compiled FHE program and its backend-agnostic executor.
+
+A :class:`FheProgram` is an ordered list of instructions over named
+registers (one register = one packed tensor = a list of ciphertexts).
+Each instruction carries its placement decision (execution level,
+bootstraps inserted before it) and executes against any
+:class:`repro.backend.FheBackend` — the exact toy backend for
+validation-scale networks, the simulator for paper-scale ones.
+
+Scale discipline (paper Section 6, "errorless neural network
+evaluation"): between layers every ciphertext sits at scale exactly
+Delta.  Linear-layer weight plaintexts are encoded at the *runtime*
+scale q_l * Delta / s_in so the post-layer rescale lands exactly back
+on Delta, whatever s_in the preceding activation produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.approx.chebyshev import ChebyshevPoly
+from repro.core.approx.evaluator import evaluate_chebyshev
+from repro.core.packing.matvec import PackedMatVec
+
+
+class ExecutionState:
+    """Registers and backend for one inference."""
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.registers: Dict[int, List] = {}
+
+    def get(self, uid: int) -> List:
+        return self.registers[uid]
+
+    def set(self, uid: int, cts: List) -> None:
+        self.registers[uid] = cts
+
+    # -- helpers shared by instructions -----------------------------------
+    def apply_bootstraps(self, uid: int) -> None:
+        """Refresh a register in place (a bootstrap benefits every
+        consumer of the value, so mutation is semantically right)."""
+        backend = self.backend
+        self.registers[uid] = [backend.bootstrap(ct) for ct in self.registers[uid]]
+
+    def aligned(self, uid: int, level: int) -> List:
+        """A level-aligned *copy* of a register.
+
+        Mod-down must NOT mutate the register: a fork value read by a
+        residual shortcut at a high level may simultaneously feed a
+        backbone layer executing lower.
+        """
+        backend = self.backend
+        return [
+            backend.level_down(ct, level) if backend.level_of(ct) > level else ct
+            for ct in self.registers[uid]
+        ]
+
+
+@dataclass
+class Instruction:
+    """Base instruction: placement metadata common to all ops."""
+
+    name: str
+    out_uid: int
+    exec_level: int
+    boots_before: int
+
+    def prepare(self, state: ExecutionState, uids: List[int]) -> List[List]:
+        if self.boots_before:
+            for uid in uids:
+                state.apply_bootstraps(uid)
+        return [state.aligned(uid, self.exec_level) for uid in uids]
+
+    def execute(self, state: ExecutionState) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class LinearInstr(Instruction):
+    """A packed linear layer (conv / fc / pool / folded bn)."""
+
+    in_uid: int = 0
+    packed: PackedMatVec = None
+
+    def execute(self, state: ExecutionState) -> None:
+        backend = state.backend
+        with backend.ledger.phase(f"linear/{self.name}"):
+            (cts,) = self.prepare(state, [self.in_uid])
+            in_scale = backend.scale_of(cts[0])
+            q_exec = backend.params.data_primes[self.exec_level]
+            pt_scale = Fraction(q_exec) * Fraction(backend.params.scale) / in_scale
+            state.set(self.out_uid, self.packed.execute(backend, cts, pt_scale))
+
+
+def normalize_scale(backend, ct, target_scale: Fraction):
+    """Bring a ciphertext to an exact target scale, spending one level.
+
+    Multiplies by a ones-plaintext at scale target * q_l / s and
+    rescales: the output scale is exactly ``target_scale``.  This is how
+    activation outputs are pinned back to Delta so the between-layer
+    invariant of paper Section 6 holds at residual joins.  (The paper's
+    depth-optimal evaluator [11] achieves this without the extra level;
+    see EXPERIMENTS.md for the accounting difference.)
+    """
+    level = backend.level_of(ct)
+    if level == 0:
+        raise ValueError("no level left for scale normalization")
+    q = backend.params.data_primes[level]
+    ratio = Fraction(target_scale) * q / backend.scale_of(ct)
+    if ratio < 1:
+        raise ValueError("scale normalization ratio below one")
+    ones = backend.encode(np.ones(backend.slot_count), level, ratio)
+    return backend.rescale(backend.mul_plain(ct, ones))
+
+
+@dataclass
+class PolyInstr(Instruction):
+    """Elementwise Chebyshev polynomial evaluation (activations).
+
+    ``target_kind`` selects the exact output scale: 'delta' (between-
+    layer invariant) or 'prime' (the ReLU sign branch, which targets
+    the join level's prime so the x * sign product rescales to Delta).
+    """
+
+    in_uid: int = 0
+    poly: ChebyshevPoly = None
+    target_kind: str = "delta"
+
+    def execute(self, state: ExecutionState) -> None:
+        backend = state.backend
+        with backend.ledger.phase(f"act/{self.name}"):
+            (in_cts,) = self.prepare(state, [self.in_uid])
+            outs = []
+            for ct in in_cts:
+                out = evaluate_chebyshev(backend, ct, self.poly)
+                if self.target_kind == "delta":
+                    out = normalize_scale(backend, out, Fraction(backend.params.scale))
+                outs.append(out)
+            state.set(self.out_uid, outs)
+
+
+@dataclass
+class SquareInstr(Instruction):
+    """x^2 by direct HMult (depth 1; used by the MNIST networks)."""
+
+    in_uid: int = 0
+
+    def execute(self, state: ExecutionState) -> None:
+        backend = state.backend
+        with backend.ledger.phase(f"act/{self.name}"):
+            (in_cts,) = self.prepare(state, [self.in_uid])
+            outs = [backend.rescale(backend.mul(ct, ct)) for ct in in_cts]
+            state.set(self.out_uid, outs)
+
+
+@dataclass
+class MultJoinInstr(Instruction):
+    """The ReLU join: x * signish(x).
+
+    Depth 2: one level pins the sign branch to the scale q_l of the
+    multiply's rescale prime, so the product rescales to exactly Delta
+    (restoring the between-layer invariant); the multiply itself spends
+    the second level.
+    """
+
+    x_uid: int = 0
+    sign_uid: int = 0
+
+    def execute(self, state: ExecutionState) -> None:
+        backend = state.backend
+        with backend.ledger.phase(f"act/{self.name}"):
+            x_cts, sign_cts = self.prepare(state, [self.x_uid, self.sign_uid])
+            outs = []
+            for x_ct, s_ct in zip(x_cts, sign_cts):
+                level = backend.level_of(s_ct)
+                target = Fraction(backend.params.data_primes[level - 1])
+                s_norm = normalize_scale(backend, s_ct, target)
+                x_aligned = backend.level_down(x_ct, backend.level_of(s_norm))
+                outs.append(backend.rescale(backend.mul(x_aligned, s_norm)))
+            state.set(self.out_uid, outs)
+
+
+@dataclass
+class AddJoinInstr(Instruction):
+    """Residual addition; both inputs sit at scale Delta by invariant."""
+
+    a_uid: int = 0
+    b_uid: int = 0
+
+    def execute(self, state: ExecutionState) -> None:
+        backend = state.backend
+        with backend.ledger.phase(f"join/{self.name}"):
+            a_cts, b_cts = self.prepare(state, [self.a_uid, self.b_uid])
+            outs = [backend.add(a, b) for a, b in zip(a_cts, b_cts)]
+            state.set(self.out_uid, outs)
+
+
+@dataclass
+class AliasInstr(Instruction):
+    """Free layout change (flatten / folded batchnorm placeholder)."""
+
+    in_uid: int = 0
+
+    def execute(self, state: ExecutionState) -> None:
+        state.set(self.out_uid, state.get(self.in_uid))
+
+
+@dataclass
+class FheProgram:
+    """A fully compiled network ready to execute on a backend.
+
+    Attributes:
+        instructions: execution-ordered instruction list.
+        input_uid / output_uid: register ids of network input/output.
+        input_layout: packing layout for the input image.
+        output_layout: layout holding the final logits.
+        input_norm: divide inputs by this before encryption (range
+            management; paper Section 6).
+        output_denorm: multiply decrypted outputs by this.
+        entry_level: level to encrypt the input at.
+    """
+
+    instructions: List[Instruction]
+    input_uid: int
+    output_uid: int
+    input_layout: object
+    output_layout: object
+    input_norm: float
+    output_denorm: float
+    entry_level: int
+
+    def run(self, backend, image: np.ndarray) -> np.ndarray:
+        """Encrypt, execute, decrypt one input tensor (C, H, W)."""
+        state = ExecutionState(backend)
+        vectors = self.input_layout.pack(np.asarray(image) / self.input_norm)
+        cts = [
+            backend.encrypt(
+                backend.encode(vec, self.entry_level, backend.params.scale)
+            )
+            for vec in vectors
+        ]
+        state.set(self.input_uid, cts)
+        for instr in self.instructions:
+            instr.execute(state)
+        out_vecs = [backend.decrypt(ct) for ct in state.get(self.output_uid)]
+        return self.output_layout.unpack(out_vecs) * self.output_denorm
+
+    def run_cleartext_packed(self, image: np.ndarray) -> np.ndarray:
+        """Reference: run the packed linear algebra without encryption.
+
+        Executes the same compiled program over plain slot vectors
+        (exact polynomial activations included), isolating packing
+        correctness from CKKS noise.
+        """
+        values: Dict[int, List[np.ndarray]] = {}
+        values[self.input_uid] = self.input_layout.pack(
+            np.asarray(image) / self.input_norm
+        )
+        for instr in self.instructions:
+            if isinstance(instr, LinearInstr):
+                values[instr.out_uid] = instr.packed.execute_cleartext(
+                    values[instr.in_uid]
+                )
+            elif isinstance(instr, PolyInstr):
+                values[instr.out_uid] = [
+                    instr.poly(vec) for vec in values[instr.in_uid]
+                ]
+            elif isinstance(instr, SquareInstr):
+                values[instr.out_uid] = [v * v for v in values[instr.in_uid]]
+            elif isinstance(instr, MultJoinInstr):
+                values[instr.out_uid] = [
+                    x * s
+                    for x, s in zip(values[instr.x_uid], values[instr.sign_uid])
+                ]
+            elif isinstance(instr, AddJoinInstr):
+                values[instr.out_uid] = [
+                    a + b for a, b in zip(values[instr.a_uid], values[instr.b_uid])
+                ]
+            elif isinstance(instr, AliasInstr):
+                values[instr.out_uid] = values[instr.in_uid]
+        out = values[self.output_uid]
+        return self.output_layout.unpack(out) * self.output_denorm

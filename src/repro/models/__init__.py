@@ -1,0 +1,49 @@
+"""The paper's model zoo (Table 2), built on orion.nn modules.
+
+Every constructor takes an ``act`` factory selecting the activation
+(ReLU with composite-sign degrees, SiLU with a Chebyshev degree, or x^2
+for the MNIST networks) and, where useful, a ``width`` multiplier so
+tests can exercise the same architectures at laptop scale.
+"""
+
+from repro.models.mnist import LeNet5, LolaCnn, SecureMlp
+from repro.models.alexnet import AlexNet
+from repro.models.vgg import Vgg16
+from repro.models.resnet import CifarResNet, ResNet, resnet_cifar, resnet_imagenet
+from repro.models.mobilenet import MobileNetV1
+from repro.models.yolo import YoloV1
+
+__all__ = [
+    "SecureMlp",
+    "LolaCnn",
+    "LeNet5",
+    "AlexNet",
+    "Vgg16",
+    "CifarResNet",
+    "ResNet",
+    "resnet_cifar",
+    "resnet_imagenet",
+    "MobileNetV1",
+    "YoloV1",
+]
+
+
+def relu_act(degrees=(15, 15, 27)):
+    """Factory for paper-default composite-minimax ReLU."""
+    import repro.orion.nn as on
+
+    return lambda: on.ReLU(degrees=degrees)
+
+
+def silu_act(degree=127):
+    """Factory for Chebyshev SiLU (paper Section 8.2)."""
+    import repro.orion.nn as on
+
+    return lambda: on.SiLU(degree=degree)
+
+
+def square_act():
+    """Factory for x^2 (MNIST networks)."""
+    import repro.orion.nn as on
+
+    return lambda: on.Square()

@@ -1,0 +1,57 @@
+"""AlexNet (CIFAR-10 variant, paper Table 2)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import repro.orion.nn as on
+
+
+class AlexNet(on.Module):
+    """Five conv layers + three FC layers, average pooling throughout.
+
+    ``width`` scales channels (64 matches the paper-scale CIFAR
+    variant; tests use 8-16).
+    """
+
+    def __init__(
+        self,
+        classes: int = 10,
+        act: Callable = None,
+        width: int = 64,
+        image_size: int = 32,
+    ):
+        super().__init__()
+        act = act or (lambda: on.ReLU(degrees=(15, 15, 27)))
+        w = width
+        self.conv1 = on.Conv2d(3, w, 5, 1, 2)
+        self.act1 = act()
+        self.pool1 = on.AvgPool2d(2)
+        self.conv2 = on.Conv2d(w, 3 * w, 5, 1, 2)
+        self.act2 = act()
+        self.pool2 = on.AvgPool2d(2)
+        self.conv3 = on.Conv2d(3 * w, 6 * w, 3, 1, 1)
+        self.act3 = act()
+        self.conv4 = on.Conv2d(6 * w, 4 * w, 3, 1, 1)
+        self.act4 = act()
+        self.conv5 = on.Conv2d(4 * w, 4 * w, 3, 1, 1)
+        self.act5 = act()
+        self.pool3 = on.AvgPool2d(2)
+        self.flatten = on.Flatten()
+        side = image_size // 8
+        self.fc1 = on.Linear(4 * w * side * side, 8 * w)
+        self.act6 = act()
+        self.fc2 = on.Linear(8 * w, 8 * w)
+        self.act7 = act()
+        self.fc3 = on.Linear(8 * w, classes)
+
+    def forward(self, x):
+        x = self.pool1(self.act1(self.conv1(x)))
+        x = self.pool2(self.act2(self.conv2(x)))
+        x = self.act3(self.conv3(x))
+        x = self.act4(self.conv4(x))
+        x = self.pool3(self.act5(self.conv5(x)))
+        x = self.flatten(x)
+        x = self.act6(self.fc1(x))
+        x = self.act7(self.fc2(x))
+        return self.fc3(x)

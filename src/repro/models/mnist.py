@@ -1,0 +1,75 @@
+"""MNIST networks (paper Table 2): MLP, LoLA CNN, LeNet-5.
+
+All use the x^2 activation, need no bootstrapping (depths 5, 5, 7), and
+were the paper's headline Fhelipe/EVA speedup comparisons.
+"""
+
+from __future__ import annotations
+
+import repro.orion.nn as on
+
+
+class SecureMlp(on.Module):
+    """The 3-layer MLP of SecureML [57] (784-128-128-10)."""
+
+    def __init__(self, input_pixels: int = 784, hidden: int = 128, classes: int = 10):
+        super().__init__()
+        self.flatten = on.Flatten()
+        self.fc1 = on.Linear(input_pixels, hidden)
+        self.act1 = on.Square()
+        self.fc2 = on.Linear(hidden, hidden)
+        self.act2 = on.Square()
+        self.fc3 = on.Linear(hidden, classes)
+
+    def forward(self, x):
+        x = self.flatten(x)
+        x = self.act1(self.fc1(x))
+        x = self.act2(self.fc2(x))
+        return self.fc3(x)
+
+
+class LolaCnn(on.Module):
+    """The LoLA CryptoNets CNN [13]: conv, square, conv, square, fc."""
+
+    def __init__(self, image_size: int = 28, channels: int = 5, classes: int = 10):
+        super().__init__()
+        self.conv1 = on.Conv2d(1, channels, 5, stride=2, padding=2)
+        self.act1 = on.Square()
+        self.conv2 = on.Conv2d(channels, channels * 2, 5, stride=2, padding=2)
+        self.act2 = on.Square()
+        self.flatten = on.Flatten()
+        side = image_size // 4
+        self.fc = on.Linear(channels * 2 * side * side, classes)
+
+    def forward(self, x):
+        x = self.act1(self.conv1(x))
+        x = self.act2(self.conv2(x))
+        return self.fc(self.flatten(x))
+
+
+class LeNet5(on.Module):
+    """LeNet-5 as used by CHET [22] / EVA [21], x^2 activations."""
+
+    def __init__(self, image_size: int = 28, classes: int = 10):
+        super().__init__()
+        self.conv1 = on.Conv2d(1, 6, 5, stride=1, padding=2)
+        self.act1 = on.Square()
+        self.pool1 = on.AvgPool2d(2)
+        self.conv2 = on.Conv2d(6, 16, 5, stride=1, padding=0)
+        self.act2 = on.Square()
+        self.pool2 = on.AvgPool2d(2)
+        self.flatten = on.Flatten()
+        side = (image_size // 2 - 4) // 2
+        self.fc1 = on.Linear(16 * side * side, 120)
+        self.act3 = on.Square()
+        self.fc2 = on.Linear(120, 84)
+        self.act4 = on.Square()
+        self.fc3 = on.Linear(84, classes)
+
+    def forward(self, x):
+        x = self.pool1(self.act1(self.conv1(x)))
+        x = self.pool2(self.act2(self.conv2(x)))
+        x = self.flatten(x)
+        x = self.act3(self.fc1(x))
+        x = self.act4(self.fc2(x))
+        return self.fc3(x)

@@ -1,0 +1,60 @@
+"""MobileNet-v1 (paper Table 2, Tiny ImageNet row).
+
+Depthwise-separable convolutions: a depthwise 3x3 (groups = channels)
+followed by a pointwise 1x1.  No residual connections — the paper notes
+this lets the bootstrap planner run convolutions at higher average
+levels than in ResNet-18 (Section 8.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import repro.orion.nn as on
+
+# (output channel multiple, stride) per separable block, torchvision order.
+_BLOCKS = [
+    (2, 1), (4, 2), (4, 1), (8, 2), (8, 1), (16, 2),
+    (16, 1), (16, 1), (16, 1), (16, 1), (16, 1), (32, 2), (32, 1),
+]
+
+
+class _SeparableBlock(on.Module):
+    def __init__(self, c_in: int, c_out: int, stride: int, act: Callable):
+        super().__init__()
+        self.depthwise = on.Conv2d(c_in, c_in, 3, stride, 1, groups=c_in, bias=False)
+        self.bn1 = on.BatchNorm2d(c_in)
+        self.act1 = act()
+        self.pointwise = on.Conv2d(c_in, c_out, 1, 1, 0, bias=False)
+        self.bn2 = on.BatchNorm2d(c_out)
+        self.act2 = act()
+
+    def forward(self, x):
+        x = self.act1(self.bn1(self.depthwise(x)))
+        return self.act2(self.bn2(self.pointwise(x)))
+
+
+class MobileNetV1(on.Module):
+    def __init__(self, classes: int = 200, act: Callable = None, width: int = 32,
+                 num_blocks: int = None):
+        super().__init__()
+        act = act or (lambda: on.SiLU(degree=127))
+        self.conv1 = on.Conv2d(3, width, 3, 2, 1, bias=False)
+        self.bn1 = on.BatchNorm2d(width)
+        self.act1 = act()
+        blocks = _BLOCKS if num_blocks is None else _BLOCKS[:num_blocks]
+        stages = []
+        c_in = width
+        for multiple, stride in blocks:
+            c_out = multiple * width
+            stages.append(_SeparableBlock(c_in, c_out, stride, act))
+            c_in = c_out
+        self.blocks = on.Sequential(*stages)
+        self.pool = on.AdaptiveAvgPool2d(1)
+        self.flatten = on.Flatten()
+        self.fc = on.Linear(c_in, classes)
+
+    def forward(self, x):
+        x = self.act1(self.bn1(self.conv1(x)))
+        x = self.blocks(x)
+        return self.fc(self.flatten(self.pool(x)))

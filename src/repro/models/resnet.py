@@ -1,0 +1,185 @@
+"""ResNets: CIFAR (20/32/44/56/110) and ImageNet (18/34/50) variants.
+
+The CIFAR family follows He et al. [34]: 6n+2 layers in three stages of
+n BasicBlocks.  The ImageNet family mirrors torchvision's layout with
+the paper's substitutions (max pool -> average pool, configurable
+activation).  ``width`` scales channel counts for laptop-size tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import repro.orion.nn as on
+
+ActFactory = Callable[[], on.Module]
+
+
+def _default_act() -> on.Module:
+    return on.ReLU(degrees=(15, 15, 27))
+
+
+class BasicBlock(on.Module):
+    """Paper Listing 1's residual block."""
+
+    expansion = 1
+
+    def __init__(self, c_in: int, c_out: int, stride: int, act: ActFactory):
+        super().__init__()
+        self.conv1 = on.Conv2d(c_in, c_out, 3, stride, 1, bias=False)
+        self.bn1 = on.BatchNorm2d(c_out)
+        self.act1 = act()
+        self.conv2 = on.Conv2d(c_out, c_out, 3, 1, 1, bias=False)
+        self.bn2 = on.BatchNorm2d(c_out)
+        self.act2 = act()
+        self.add = on.Add()
+        self.shortcut = on.Sequential()
+        if stride != 1 or c_in != c_out:
+            self.shortcut = on.Sequential(
+                on.Conv2d(c_in, c_out, 1, stride, 0, bias=False),
+                on.BatchNorm2d(c_out),
+            )
+
+    def forward(self, x):
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = self.add(out, self.shortcut(x))
+        return self.act2(out)
+
+
+class Bottleneck(on.Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck (ResNet-50)."""
+
+    expansion = 4
+
+    def __init__(self, c_in: int, c_mid: int, stride: int, act: ActFactory):
+        super().__init__()
+        c_out = c_mid * self.expansion
+        self.conv1 = on.Conv2d(c_in, c_mid, 1, 1, 0, bias=False)
+        self.bn1 = on.BatchNorm2d(c_mid)
+        self.act1 = act()
+        self.conv2 = on.Conv2d(c_mid, c_mid, 3, stride, 1, bias=False)
+        self.bn2 = on.BatchNorm2d(c_mid)
+        self.act2 = act()
+        self.conv3 = on.Conv2d(c_mid, c_out, 1, 1, 0, bias=False)
+        self.bn3 = on.BatchNorm2d(c_out)
+        self.act3 = act()
+        self.add = on.Add()
+        self.shortcut = on.Sequential()
+        if stride != 1 or c_in != c_out:
+            self.shortcut = on.Sequential(
+                on.Conv2d(c_in, c_out, 1, stride, 0, bias=False),
+                on.BatchNorm2d(c_out),
+            )
+
+    def forward(self, x):
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.act2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        out = self.add(out, self.shortcut(x))
+        return self.act3(out)
+
+
+class CifarResNet(on.Module):
+    """6n+2-layer CIFAR ResNet (He et al. [34])."""
+
+    def __init__(
+        self,
+        depth: int = 20,
+        classes: int = 10,
+        act: ActFactory = _default_act,
+        width: int = 16,
+        in_channels: int = 3,
+    ):
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError("CIFAR ResNet depth must be 6n+2")
+        n = (depth - 2) // 6
+        self.conv1 = on.Conv2d(in_channels, width, 3, 1, 1, bias=False)
+        self.bn1 = on.BatchNorm2d(width)
+        self.act1 = act()
+        self.stage1 = self._stage(width, width, n, 1, act)
+        self.stage2 = self._stage(width, 2 * width, n, 2, act)
+        self.stage3 = self._stage(2 * width, 4 * width, n, 2, act)
+        self.pool = on.AdaptiveAvgPool2d(1)
+        self.flatten = on.Flatten()
+        self.fc = on.Linear(4 * width, classes)
+
+    @staticmethod
+    def _stage(c_in: int, c_out: int, blocks: int, stride: int, act: ActFactory):
+        layers: List[on.Module] = [BasicBlock(c_in, c_out, stride, act)]
+        for _ in range(blocks - 1):
+            layers.append(BasicBlock(c_out, c_out, 1, act))
+        return on.Sequential(*layers)
+
+    def forward(self, x):
+        x = self.act1(self.bn1(self.conv1(x)))
+        x = self.stage3(self.stage2(self.stage1(x)))
+        return self.fc(self.flatten(self.pool(x)))
+
+
+class ResNet(on.Module):
+    """ImageNet-style ResNet (18/34/50), paper substitutions applied."""
+
+    def __init__(
+        self,
+        layers: List[int],
+        block=BasicBlock,
+        classes: int = 1000,
+        act: ActFactory = _default_act,
+        width: int = 64,
+        in_channels: int = 3,
+    ):
+        super().__init__()
+        self.conv1 = on.Conv2d(in_channels, width, 7, 2, 3, bias=False)
+        self.bn1 = on.BatchNorm2d(width)
+        self.act1 = act()
+        self.pool1 = on.AvgPool2d(2)  # paper replaces max pooling
+        c = width
+        self.layer1 = self._stage(block, c, width, layers[0], 1, act)
+        c = width * block.expansion
+        self.layer2 = self._stage(block, c, 2 * width, layers[1], 2, act)
+        c = 2 * width * block.expansion
+        self.layer3 = self._stage(block, c, 4 * width, layers[2], 2, act)
+        c = 4 * width * block.expansion
+        self.layer4 = self._stage(block, c, 8 * width, layers[3], 2, act)
+        c = 8 * width * block.expansion
+        self.pool2 = on.AdaptiveAvgPool2d(1)
+        self.flatten = on.Flatten()
+        self.fc = on.Linear(c, classes)
+
+    @staticmethod
+    def _stage(block, c_in, c_mid, blocks, stride, act):
+        layers = [block(c_in, c_mid, stride, act)]
+        c = c_mid * block.expansion
+        for _ in range(blocks - 1):
+            layers.append(block(c, c_mid, 1, act))
+        return on.Sequential(*layers)
+
+    def forward(self, x):
+        x = self.pool1(self.act1(self.bn1(self.conv1(x))))
+        x = self.layer4(self.layer3(self.layer2(self.layer1(x))))
+        return self.fc(self.flatten(self.pool2(x)))
+
+    def backbone_forward(self, x):
+        """Forward without pooling/classifier (YOLO backbone use)."""
+        x = self.pool1(self.act1(self.bn1(self.conv1(x))))
+        return self.layer4(self.layer3(self.layer2(self.layer1(x))))
+
+
+def resnet_cifar(depth: int, act: ActFactory = _default_act, width: int = 16,
+                 classes: int = 10) -> CifarResNet:
+    return CifarResNet(depth=depth, act=act, width=width, classes=classes)
+
+
+def resnet_imagenet(depth: int, act: ActFactory = _default_act, width: int = 64,
+                    classes: int = 1000) -> ResNet:
+    configs = {
+        18: ([2, 2, 2, 2], BasicBlock),
+        34: ([3, 4, 6, 3], BasicBlock),
+        50: ([3, 4, 6, 3], Bottleneck),
+    }
+    if depth not in configs:
+        raise ValueError(f"unsupported ImageNet ResNet depth {depth}")
+    layers, block = configs[depth]
+    return ResNet(layers, block=block, act=act, width=width, classes=classes)

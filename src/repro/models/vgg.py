@@ -1,0 +1,39 @@
+"""VGG-16 (CIFAR-10 variant, paper Table 2)."""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import repro.orion.nn as on
+
+_VGG16_PLAN = [1, 1, "P", 2, 2, "P", 4, 4, 4, "P", 8, 8, 8, "P", 8, 8, 8, "P"]
+
+
+class Vgg16(on.Module):
+    """13 conv layers (batch-normed) + classifier, avg pooling.
+
+    ``width`` is the base channel count (64 at paper scale).
+    """
+
+    def __init__(self, classes: int = 10, act: Callable = None, width: int = 64,
+                 image_size: int = 32):
+        super().__init__()
+        act = act or (lambda: on.ReLU(degrees=(15, 15, 27)))
+        layers: List[on.Module] = []
+        c_in = 3
+        for entry in _VGG16_PLAN:
+            if entry == "P":
+                layers.append(on.AvgPool2d(2))
+                continue
+            c_out = entry * width
+            layers.append(on.Conv2d(c_in, c_out, 3, 1, 1, bias=False))
+            layers.append(on.BatchNorm2d(c_out))
+            layers.append(act())
+            c_in = c_out
+        self.features = on.Sequential(*layers)
+        self.flatten = on.Flatten()
+        side = image_size // 32
+        self.fc = on.Linear(8 * width * side * side, classes)
+
+    def forward(self, x):
+        return self.fc(self.flatten(self.features(x)))

@@ -1,0 +1,124 @@
+"""YOLO-v1 with a ResNet-34 backbone (paper Section 8.6 / Figure 8).
+
+The paper's largest FHE computation: 139M parameters on 448x448x3
+PASCAL-VOC images, predicting an S x S grid of B boxes and C class
+scores per cell.  Output tensor: S*S*(B*5 + C) = 7*7*30 at paper scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+import repro.orion.nn as on
+from repro.models.resnet import ResNet, BasicBlock
+
+
+class YoloV1(on.Module):
+    """Detection head on top of a ResNet-34-style backbone.
+
+    Args:
+        grid: S (cells per side).
+        boxes: B boxes per cell.
+        classes: C object classes.
+        width: backbone width (64 at paper scale).
+        head_width: detection head channel count (1024 at paper scale).
+    """
+
+    def __init__(
+        self,
+        grid: int = 7,
+        boxes: int = 2,
+        classes: int = 20,
+        act: Callable = None,
+        width: int = 64,
+        head_width: int = 1024,
+        fc_hidden: int = 2048,
+        backbone_layers: List[int] = (3, 4, 6, 3),
+    ):
+        super().__init__()
+        act = act or (lambda: on.SiLU(degree=127))
+        self.grid = grid
+        self.boxes = boxes
+        self.classes = classes
+        self.backbone = ResNet(
+            list(backbone_layers), block=BasicBlock, act=act, width=width, classes=1
+        )
+        c = 8 * width
+        self.head_conv1 = on.Conv2d(c, head_width, 3, 1, 1, bias=False)
+        self.head_bn1 = on.BatchNorm2d(head_width)
+        self.head_act1 = act()
+        self.head_conv2 = on.Conv2d(head_width, head_width, 3, 2, 1, bias=False)
+        self.head_bn2 = on.BatchNorm2d(head_width)
+        self.head_act2 = act()
+        self.flatten = on.Flatten()
+        out_cells = grid * grid * (boxes * 5 + classes)
+        # Head FC operates on the grid x grid spatial map; fc_hidden is
+        # sized so the paper-scale model totals ~139M parameters.
+        self.fc1 = on.Linear(head_width * grid * grid, fc_hidden)
+        self.head_act3 = act()
+        self.fc2 = on.Linear(fc_hidden, out_cells)
+
+    def forward(self, x):
+        x = self.backbone.backbone_forward(x)
+        x = self.head_act1(self.head_bn1(self.head_conv1(x)))
+        x = self.head_act2(self.head_bn2(self.head_conv2(x)))
+        x = self.flatten(x)
+        x = self.head_act3(self.fc1(x))
+        return self.fc2(x)
+
+    # -- detection decoding (cleartext post-processing) -----------------
+    def decode(self, output: np.ndarray, threshold: float = 0.25) -> List[Tuple]:
+        """Raw output vector -> [(class_id, confidence, cx, cy, w, h)].
+
+        Mirrors YOLO-v1 post-processing: per-cell boxes with confidence
+        = box objectness * best class score; simple per-class greedy
+        suppression of overlapping boxes.
+        """
+        s, b, c = self.grid, self.boxes, self.classes
+        grid = output.reshape(s, s, b * 5 + c)
+        detections = []
+        for gy in range(s):
+            for gx in range(s):
+                cell = grid[gy, gx]
+                class_scores = cell[b * 5 :]
+                best_class = int(np.argmax(class_scores))
+                for box in range(b):
+                    bx, by, bw, bh, obj = cell[box * 5 : box * 5 + 5]
+                    confidence = float(obj * class_scores[best_class])
+                    if confidence < threshold:
+                        continue
+                    cx = (gx + _sigmoid(bx)) / s
+                    cy = (gy + _sigmoid(by)) / s
+                    detections.append(
+                        (best_class, confidence, cx, cy, abs(float(bw)), abs(float(bh)))
+                    )
+        return _suppress(detections)
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _iou(box_a, box_b) -> float:
+    ax, ay, aw, ah = box_a
+    bx, by, bw, bh = box_b
+    ax0, ay0, ax1, ay1 = ax - aw / 2, ay - ah / 2, ax + aw / 2, ay + ah / 2
+    bx0, by0, bx1, by1 = bx - bw / 2, by - bh / 2, bx + bw / 2, by + bh / 2
+    ix = max(0.0, min(ax1, bx1) - max(ax0, bx0))
+    iy = max(0.0, min(ay1, by1) - max(ay0, by0))
+    inter = ix * iy
+    union = aw * ah + bw * bh - inter
+    return inter / union if union > 0 else 0.0
+
+
+def _suppress(detections, iou_threshold: float = 0.5):
+    detections = sorted(detections, key=lambda d: -d[1])
+    kept = []
+    for det in detections:
+        if all(
+            det[0] != k[0] or _iou(det[2:], k[2:]) < iou_threshold for k in kept
+        ):
+            kept.append(det)
+    return kept

@@ -1,0 +1,24 @@
+"""Cleartext activation modules (exact, not polynomial)."""
+
+from __future__ import annotations
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class SiLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+
+class Square(Module):
+    """x^2: the activation used by the paper's MNIST networks."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.square(x)

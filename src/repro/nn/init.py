@@ -1,0 +1,23 @@
+"""Weight initialization (Kaiming fan-in, matching torchvision defaults)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INIT_RNG = np.random.default_rng(0)
+
+
+def seed_init(seed: int) -> None:
+    """Reset the initialization stream (deterministic model builds)."""
+    global _INIT_RNG
+    _INIT_RNG = np.random.default_rng(seed)
+
+
+def kaiming_uniform(shape, fan_in: int) -> np.ndarray:
+    bound = np.sqrt(6.0 / fan_in)
+    return _INIT_RNG.uniform(-bound, bound, size=shape)
+
+
+def uniform_bias(shape, fan_in: int) -> np.ndarray:
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return _INIT_RNG.uniform(-bound, bound, size=shape)

@@ -1,0 +1,10 @@
+"""Negacyclic Number Theoretic Transform over NTT-friendly primes.
+
+CKKS keeps polynomials in the NTT (evaluation) representation so that
+polynomial multiplication in Z_q[X]/(X^N + 1) costs O(N) pointwise
+products instead of O(N^2) (paper Section 2.5).
+"""
+
+from repro.ntt.transform import NttContext, negacyclic_convolve_reference
+
+__all__ = ["NttContext", "negacyclic_convolve_reference"]

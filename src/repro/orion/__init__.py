@@ -1,0 +1,24 @@
+"""The Orion user-facing API (paper Section 6, Listing 1).
+
+Usage mirrors the paper exactly:
+
+    import repro.orion.nn as on
+
+    class BasicBlock(on.Module):
+        def __init__(self, ci, co, stride=1):
+            super().__init__()
+            self.conv1 = on.Conv2d(ci, co, 3, stride, 1)
+            self.bn1 = on.BatchNorm2d(co)
+            self.act1 = on.ReLU(degrees=[15, 15, 27])
+            ...
+
+Networks train with the cleartext engine (repro.nn / repro.autograd),
+then ``repro.orion.net.OrionNetwork`` handles ``fit`` (range
+estimation), ``compile`` (packing + bootstrap placement + scale
+management), and encrypted inference on any FHE backend.
+"""
+
+from repro.orion import nn
+from repro.orion.net import OrionNetwork
+
+__all__ = ["nn", "OrionNetwork"]

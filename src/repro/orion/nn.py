@@ -1,0 +1,234 @@
+"""orion.nn: PyTorch-style modules carrying FHE compilation metadata.
+
+Each leaf module provides (a) exact cleartext semantics (training and
+validation run through repro.nn), and (b) the metadata the Orion
+compiler needs: its kind, multiplicative depth, and any polynomial
+approximation configuration.  ``__call__`` additionally records the
+module into an active trace (repro.trace) so the compiler can recover
+the layer DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn as base_nn
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.trace.graph import TracedValue, record_node, trace_active
+
+
+class Module(base_nn.Module):
+    """Base class for all orion modules.
+
+    Subclass this (like paper Listing 1) to build networks.  Leaf
+    modules set ``orion_kind``; containers leave it ``None`` and simply
+    compose children in ``forward``.
+    """
+
+    orion_kind: Optional[str] = None  # None = container
+
+    def __call__(self, *args):
+        if self.orion_kind is None or trace_active() is None:
+            return self.forward(*args)
+        values: List[TracedValue] = []
+        for arg in args:
+            if isinstance(arg, TracedValue):
+                values.append(arg)
+            else:
+                raise TypeError(
+                    f"{type(self).__name__} received a raw tensor during "
+                    "tracing; all values must flow from the traced input"
+                )
+        out_tensor = self.forward(*(v.tensor for v in values))
+        return record_node(self, values, out_tensor)
+
+
+# ---------------------------------------------------------------------------
+# Linear layers (each consumes exactly one level; paper Section 4)
+# ---------------------------------------------------------------------------
+class Conv2d(Module, base_nn.Conv2d):
+    """Convolution with arbitrary stride/padding/dilation/groups."""
+
+    orion_kind = "linear"
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1, padding=0,
+                 dilation=1, groups=1, bias=True):
+        base_nn.Conv2d.__init__(
+            self, in_channels, out_channels, kernel_size, stride, padding,
+            dilation, groups, bias,
+        )
+
+
+class Linear(Module, base_nn.Linear):
+    orion_kind = "linear"
+
+    def __init__(self, in_features, out_features, bias=True):
+        base_nn.Linear.__init__(self, in_features, out_features, bias)
+
+
+class AvgPool2d(Module, base_nn.AvgPool2d):
+    orion_kind = "linear"
+
+    def __init__(self, kernel_size, stride=None):
+        base_nn.AvgPool2d.__init__(self, kernel_size, stride)
+
+
+class AdaptiveAvgPool2d(Module, base_nn.AdaptiveAvgPool2d):
+    orion_kind = "linear"
+
+    def __init__(self, output_size=1):
+        base_nn.AdaptiveAvgPool2d.__init__(self, output_size)
+
+
+class BatchNorm2d(Module, base_nn.BatchNorm2d):
+    """Batch norm; folded into the adjacent convolution at compile time
+    so it consumes no level (paper Section 5.1 counts linear layers as
+    one level each — conv+bn together form one linear layer)."""
+
+    orion_kind = "batchnorm"
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1):
+        base_nn.BatchNorm2d.__init__(self, num_features, eps, momentum)
+
+
+class Flatten(Module, base_nn.Flatten):
+    """Layout-only: flattening is free under packed layouts."""
+
+    orion_kind = "reshape"
+
+
+class Add(Module):
+    """Elementwise join for residual connections (paper Listing 1)."""
+
+    orion_kind = "add"
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        return a + b
+
+
+# ---------------------------------------------------------------------------
+# Activations (polynomial evaluations under FHE; paper Sections 6-7)
+# ---------------------------------------------------------------------------
+class _ActivationBase(Module):
+    """Shared machinery for polynomially-approximated activations.
+
+    Cleartext forward is the *exact* function (training matches normal
+    practice); the compiler swaps in the fitted polynomial.  Range
+    estimation records the observed input range during ``fit``.
+    """
+
+    orion_kind = "poly"
+
+    def __init__(self):
+        super().__init__()
+        self.observed_max: float = 0.0
+        self._recording: bool = False
+
+    def start_range_recording(self):
+        self.observed_max = 0.0
+        self._recording = True
+
+    def stop_range_recording(self):
+        self._recording = False
+
+    def _observe(self, x: Tensor) -> None:
+        if self._recording:
+            peak = float(np.max(np.abs(x.data))) if x.size else 0.0
+            self.observed_max = max(self.observed_max, peak)
+
+    def exact_fn(self, values: np.ndarray) -> np.ndarray:
+        """The true activation on a numpy array (for fitting)."""
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+
+class ReLU(_ActivationBase):
+    """ReLU via composite minimax sign polynomials (paper Section 7).
+
+    ``degrees`` configures the composition (default [15, 15, 27] after
+    Lee et al. [53]); total depth = sum(ceil(log2(d+1))) + 1 for the
+    final multiply, i.e. 14 for the default.
+    """
+
+    orion_kind = "relu"
+
+    def __init__(self, degrees: Sequence[int] = (15, 15, 27)):
+        super().__init__()
+        self.degrees = tuple(degrees)
+
+    def exact_fn(self, values):
+        return np.maximum(values, 0.0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._observe(x)
+        return F.relu(x)
+
+
+class SiLU(_ActivationBase):
+    """SiLU approximated by one Chebyshev polynomial of ``degree``."""
+
+    def __init__(self, degree: int = 127):
+        super().__init__()
+        self.degree = degree
+
+    def exact_fn(self, values):
+        return values / (1.0 + np.exp(-values))
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._observe(x)
+        return F.silu(x)
+
+
+class Square(_ActivationBase):
+    """x^2: exact degree-2 polynomial (MNIST networks, paper Table 2)."""
+
+    def __init__(self):
+        super().__init__()
+        self.degree = 2
+
+    def exact_fn(self, values):
+        return values * values
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._observe(x)
+        return F.square(x)
+
+
+class Activation(_ActivationBase):
+    """Arbitrary user activation fit with a degree-``degree`` Chebyshev
+    polynomial (paper Section 6: extending support "is straightforward
+    and follows a process similar to defining custom PyTorch modules")."""
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], degree: int = 31,
+                 name: str = "custom"):
+        super().__init__()
+        self.fn = fn
+        self.degree = degree
+        self.custom_name = name
+
+    def exact_fn(self, values):
+        return self.fn(values)
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._observe(x)
+        data = self.fn(x.data)
+        out = Tensor._make(np.asarray(data), (x,), _numeric_backward(self.fn, x))
+        return out
+
+
+def _numeric_backward(fn, x: Tensor, eps: float = 1e-5):
+    def backward(grad):
+        if x.requires_grad:
+            deriv = (fn(x.data + eps) - fn(x.data - eps)) / (2 * eps)
+            x._accumulate(grad * deriv)
+
+    return backward
+
+
+# Re-export containers so models can be written entirely against this module.
+Sequential = base_nn.Sequential

@@ -1,0 +1,13 @@
+"""Residue Number System arithmetic for CKKS polynomials.
+
+A CKKS polynomial with a huge modulus Q = prod(q_i) is stored as a
+matrix of shape (num_limbs, N): one row of small residues per prime
+(paper Section 2.4).  Addition and multiplication act limb-wise; the
+expensive cross-limb operations (rescale, mod-down, CRT reconstruction)
+live here too.
+"""
+
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomial
+
+__all__ = ["RnsBasis", "RnsPolynomial"]

@@ -1,0 +1,106 @@
+"""RNS basis: a chain of NTT-friendly primes with shared tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.ntt import NttContext
+from repro.utils.intmath import mod_inverse
+
+
+class RnsBasis:
+    """A fixed ordered chain of primes ``(q_0, ..., q_L[, p_special...])``.
+
+    The basis owns one :class:`NttContext` per prime and the precomputed
+    CRT constants needed for exact reconstruction.  Polynomials refer to
+    a *prefix* of the chain via their limb count — dropping limbs is how
+    levels are consumed (paper Section 2.4).
+
+    Args:
+        primes: the full modulus chain, data primes first, any special
+            (key-switching) primes last.
+        ring_degree: polynomial ring degree N (power of two).
+        num_special: how many trailing primes are key-switching primes
+            that never hold message data.
+    """
+
+    def __init__(self, primes: Sequence[int], ring_degree: int, num_special: int = 0):
+        if len(set(primes)) != len(primes):
+            raise ValueError("primes in an RNS basis must be distinct")
+        if num_special >= len(primes):
+            raise ValueError("need at least one data prime")
+        self.primes: Tuple[int, ...] = tuple(int(q) for q in primes)
+        self.ring_degree = ring_degree
+        self.num_special = num_special
+        self.ntts: Dict[int, NttContext] = {
+            q: NttContext(q, ring_degree) for q in self.primes
+        }
+        self._inv_cache: Dict[Tuple[int, int], int] = {}
+
+    # -- structure -----------------------------------------------------
+    @property
+    def num_data_primes(self) -> int:
+        return len(self.primes) - self.num_special
+
+    @property
+    def special_primes(self) -> Tuple[int, ...]:
+        if self.num_special == 0:
+            return ()
+        return self.primes[-self.num_special:]
+
+    def data_primes(self, num_limbs: int) -> Tuple[int, ...]:
+        """The first ``num_limbs`` data primes."""
+        if num_limbs > self.num_data_primes:
+            raise ValueError("requested more limbs than data primes")
+        return self.primes[:num_limbs]
+
+    def modulus(self, num_limbs: int) -> int:
+        """Q_l = product of the first ``num_limbs`` data primes."""
+        q = 1
+        for prime in self.data_primes(num_limbs):
+            q *= prime
+        return q
+
+    def special_modulus(self) -> int:
+        p = 1
+        for prime in self.special_primes:
+            p *= prime
+        return p
+
+    def inverse(self, value: int, prime: int) -> int:
+        """Cached modular inverse of ``value`` modulo ``prime``."""
+        key = (value % prime, prime)
+        if key not in self._inv_cache:
+            self._inv_cache[key] = mod_inverse(value % prime, prime)
+        return self._inv_cache[key]
+
+    # -- CRT -----------------------------------------------------------
+    def crt_reconstruct(self, limbs: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+        """Exact CRT: residue matrix -> centered big integers.
+
+        Args:
+            limbs: array of shape (len(primes), N).
+            primes: the moduli corresponding to each row.
+
+        Returns:
+            object-dtype array of Python ints in (-Q/2, Q/2].
+        """
+        primes = list(primes)
+        q_total = 1
+        for p in primes:
+            q_total *= p
+        acc = np.zeros(limbs.shape[1], dtype=object)
+        for row, p in zip(limbs, primes):
+            q_hat = q_total // p
+            coeff = (q_hat * self.inverse(q_hat, p)) % q_total
+            acc = acc + row.astype(object) * coeff
+        acc = acc % q_total
+        half = q_total // 2
+        return np.where(acc > half, acc - q_total, acc)
+
+    def reduce_bigints(self, values: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+        """Reduce an object array of big ints into residue rows."""
+        rows = [np.mod(values, p).astype(np.int64) for p in primes]
+        return np.stack(rows)

@@ -1,0 +1,125 @@
+"""Tracing machinery: record the module-level dataflow of a forward pass.
+
+Orion modules (repro.orion.nn) check :func:`trace_active` inside
+``__call__``; when a trace is live, each *leaf* module appends a
+:class:`TraceNode` linking its input value ids to its output value id.
+Container modules (user subclasses, Sequential) contribute nothing —
+only the leaves appear in the graph, mirroring how the paper treats a
+"network layer" as a linear transform or polynomial evaluation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.autograd.tensor import Tensor
+
+
+@dataclass
+class TracedValue:
+    """A tensor flowing through a traced forward pass."""
+
+    tensor: Tensor
+    uid: int
+
+    @property
+    def feature_shape(self) -> Tuple[int, ...]:
+        """Shape without the batch dimension."""
+        return tuple(self.tensor.shape[1:])
+
+
+@dataclass
+class TraceNode:
+    """One executed leaf module."""
+
+    index: int
+    module: object  # an orion leaf module
+    inputs: Tuple[int, ...]
+    output: int
+    input_shapes: Tuple[Tuple[int, ...], ...]
+    output_shape: Tuple[int, ...]
+    output_max_abs: float = 0.0  # peak |value| seen (range estimation)
+
+    @property
+    def name(self) -> str:
+        return f"{type(self.module).__name__.lower()}_{self.index}"
+
+
+@dataclass
+class LayerGraph:
+    """The traced layer DAG.
+
+    ``nodes`` are in execution order (a valid topological order).
+    Value ids: ``input_uid`` is the network input; every node output
+    introduces a fresh uid.
+    """
+
+    nodes: List[TraceNode] = field(default_factory=list)
+    input_uid: int = 0
+    output_uid: Optional[int] = None
+    _uid_counter: itertools.count = field(default_factory=itertools.count)
+
+    def fresh_uid(self) -> int:
+        return next(self._uid_counter)
+
+    def producers(self) -> Dict[int, TraceNode]:
+        return {node.output: node for node in self.nodes}
+
+    def consumers(self) -> Dict[int, List[TraceNode]]:
+        out: Dict[int, List[TraceNode]] = {}
+        for node in self.nodes:
+            for uid in node.inputs:
+                out.setdefault(uid, []).append(node)
+        return out
+
+    def fork_uids(self) -> List[int]:
+        """Value ids consumed by more than one node (fork points)."""
+        return [uid for uid, nodes in self.consumers().items() if len(nodes) > 1]
+
+    def node_by_output(self, uid: int) -> Optional[TraceNode]:
+        return self.producers().get(uid)
+
+
+_ACTIVE_TRACE: List[LayerGraph] = []
+
+
+def trace_active() -> Optional[LayerGraph]:
+    return _ACTIVE_TRACE[-1] if _ACTIVE_TRACE else None
+
+
+@contextlib.contextmanager
+def tracer():
+    """Open a trace scope; orion leaf modules record into it."""
+    graph = LayerGraph()
+    graph.input_uid = graph.fresh_uid()
+    _ACTIVE_TRACE.append(graph)
+    try:
+        yield graph
+    finally:
+        _ACTIVE_TRACE.pop()
+
+
+def record_node(module, inputs: List[TracedValue], output_tensor: Tensor) -> TracedValue:
+    """Append a leaf-module execution to the active trace."""
+    graph = trace_active()
+    if graph is None:
+        raise RuntimeError("record_node called outside a tracer() scope")
+    out = TracedValue(output_tensor, graph.fresh_uid())
+    import numpy as _np
+
+    peak = float(_np.max(_np.abs(output_tensor.data))) if output_tensor.size else 0.0
+    node = TraceNode(
+        index=len(graph.nodes),
+        module=module,
+        inputs=tuple(v.uid for v in inputs),
+        output=out.uid,
+        input_shapes=tuple(v.feature_shape for v in inputs),
+        output_shape=out.feature_shape,
+        output_max_abs=peak,
+    )
+    graph.nodes.append(node)
+    graph.output_uid = out.uid
+    return out

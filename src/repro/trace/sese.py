@@ -1,0 +1,154 @@
+"""SESE region extraction: layer DAG -> nested chain/region structure.
+
+The paper (Section 5.2) observes that each residual connection forms a
+single-entry single-exit region bounded by a fork node (a value with
+multiple consumers) and a join node (a module with multiple inputs,
+i.e. ``on.Add``).  Because Orion excludes overlapping skip connections
+(e.g. DenseNets), regions nest properly and the whole network parses
+into a tree: a :class:`Chain` of :class:`LayerItem` and
+:class:`RegionItem` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.trace.graph import LayerGraph, TraceNode
+
+
+@dataclass
+class LayerItem:
+    """A plain layer in a chain."""
+
+    node: TraceNode
+
+
+@dataclass
+class RegionItem:
+    """A fork/join region: two parallel branches meeting at a join node.
+
+    ``branch_a`` is the branch traced first (the backbone in ResNet
+    blocks); ``branch_b`` the other (often the empty residual identity).
+    The join node itself (e.g. ``on.Add``) is stored separately.
+    """
+
+    branch_a: "Chain"
+    branch_b: "Chain"
+    join: TraceNode
+
+
+Item = Union[LayerItem, RegionItem]
+
+
+@dataclass
+class Chain:
+    """A straight-line sequence of items."""
+
+    items: List[Item] = field(default_factory=list)
+
+    def layer_nodes(self) -> List[TraceNode]:
+        """All layer nodes in execution order, flattening regions."""
+        out: List[TraceNode] = []
+        for item in self.items:
+            if isinstance(item, LayerItem):
+                out.append(item.node)
+            else:
+                out.extend(item.branch_a.layer_nodes())
+                out.extend(item.branch_b.layer_nodes())
+                out.append(item.join)
+        return out
+
+    def region_count(self) -> int:
+        """Total regions including nested ones."""
+        count = 0
+        for item in self.items:
+            if isinstance(item, RegionItem):
+                count += 1
+                count += item.branch_a.region_count()
+                count += item.branch_b.region_count()
+        return count
+
+
+def build_region_tree(graph: LayerGraph) -> Chain:
+    """Parse the traced DAG into a nested chain/region structure.
+
+    Walks forward from the input uid.  On a fork (value with two
+    consumers), follows both consumer paths until they meet at a join
+    node with two inputs, recursing for nested regions.
+
+    Raises:
+        ValueError: if the graph contains overlapping skip connections
+            or a fan-out wider than two (excluded by the paper).
+    """
+    consumers = graph.consumers()
+    producers = graph.producers()
+
+    def parse_chain(start_uid: int, stop_node: Optional[TraceNode]) -> Chain:
+        """Parse from value ``start_uid`` until reaching ``stop_node``
+        (exclusive) or the end of the graph."""
+        chain = Chain()
+        uid = start_uid
+        while True:
+            users = consumers.get(uid, [])
+            users = [u for u in users if u is not stop_node]
+            if not users:
+                return chain
+            if len(users) == 1:
+                node = users[0]
+                if len(node.inputs) > 1:
+                    # A join that belongs to an enclosing region.
+                    return chain
+                chain.items.append(LayerItem(node))
+                uid = node.output
+                continue
+            if len(users) > 2:
+                raise ValueError(
+                    f"fan-out of {len(users)} at value {uid} is unsupported "
+                    "(the paper excludes overlapping skip connections)"
+                )
+            # Fork: follow both branches to their common join.
+            join = _find_join(uid, users, consumers)
+            chains = []
+            for first in users:
+                if first is join:
+                    # Identity branch: the fork value feeds the join directly.
+                    chains.append(Chain())
+                    continue
+                sub = Chain()
+                sub.items.append(LayerItem(first))
+                sub.items.extend(parse_chain(first.output, stop_node=join).items)
+                chains.append(sub)
+            region = RegionItem(branch_a=chains[0], branch_b=chains[1], join=join)
+            chain.items.append(region)
+            uid = join.output
+
+    def _find_join(fork_uid, users, consumers_map) -> TraceNode:
+        """The join is the first multi-input node reachable from both
+        consumers (non-overlapping regions make it unique)."""
+        def reachable_joins(node: TraceNode):
+            seen = set()
+            joins = []
+            frontier = [node]
+            while frontier:
+                current = frontier.pop()
+                if current.index in seen:
+                    continue
+                seen.add(current.index)
+                if len(current.inputs) > 1:
+                    joins.append(current)
+                for nxt in consumers_map.get(current.output, []):
+                    frontier.append(nxt)
+            return {j.index: j for j in joins}
+
+        candidate_sets = [reachable_joins(u) if len(u.inputs) == 1 else {u.index: u} for u in users]
+        common = set(candidate_sets[0])
+        for s in candidate_sets[1:]:
+            common &= set(s)
+        if not common:
+            raise ValueError(f"fork at value {fork_uid} has no common join")
+        # The earliest (lowest execution index) common join is the region join.
+        join_index = min(common)
+        return candidate_sets[0][join_index]
+
+    return parse_chain(graph.input_uid, stop_node=None)

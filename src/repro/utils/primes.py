@@ -1,0 +1,92 @@
+"""Prime search for NTT-friendly RNS moduli.
+
+CKKS in RNS form needs a chain of primes ``q_i`` with ``q_i = 1 (mod 2N)``
+so that Z_{q_i} contains a primitive 2N-th root of unity and the
+negacyclic NTT exists (paper Section 2.1).  Primes are chosen close to a
+target bit width so that ``q_i ~ Delta`` and rescaling keeps the scale
+roughly constant (Section 2.5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # This witness set is deterministic for n < 3.3 * 10^24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_primes(
+    bit_width: int,
+    count: int,
+    ring_degree: int,
+    exclude: tuple = (),
+) -> List[int]:
+    """Find ``count`` primes of ~``bit_width`` bits with q = 1 (mod 2N).
+
+    Candidates are scanned downward from ``2**bit_width`` and, if the
+    space below is exhausted, upward from it, so that all returned primes
+    are as close to the target width as possible.
+
+    Args:
+        bit_width: target size in bits (e.g. 28 for the toy backend).
+        count: how many distinct primes to return.
+        ring_degree: the polynomial ring degree N; the congruence is
+            taken modulo 2N.
+        exclude: primes to skip (e.g. already used for another chain).
+
+    Raises:
+        ValueError: when not enough primes exist near the target width.
+    """
+    if count <= 0:
+        return []
+    step = 2 * ring_degree
+    found: List[int] = []
+    excluded = set(exclude)
+
+    # Largest candidate <= 2**bit_width with candidate = 1 (mod 2N).
+    top = (1 << bit_width) + 1
+    candidate = top - ((top - 1) % step)
+    lo_limit = 1 << (bit_width - 2)
+    while candidate > lo_limit and len(found) < count:
+        if candidate not in excluded and is_prime(candidate):
+            found.append(candidate)
+        candidate -= step
+
+    candidate = top + step - ((top - 1) % step)
+    hi_limit = 1 << (bit_width + 2)
+    while candidate < hi_limit and len(found) < count:
+        if candidate not in excluded and is_prime(candidate):
+            found.append(candidate)
+        candidate += step
+
+    if len(found) < count:
+        raise ValueError(
+            f"could not find {count} NTT primes of ~{bit_width} bits "
+            f"for ring degree {ring_degree}"
+        )
+    return found

@@ -1,0 +1,103 @@
+"""Disk spill for large compiled artifacts.
+
+The paper stores rotation keys and encoded matrix diagonals in HDF5 and
+streams them back during inference (Section 6, "Handling large data
+structures").  h5py is unavailable offline, so this module provides the
+same behaviour on top of ``numpy.savez``: a key-value store of arrays,
+grouped so one group (e.g. one layer's diagonals) is loaded at a time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+
+class DiagonalStore:
+    """An npz-backed key-value store of numpy arrays with lazy loading.
+
+    Keys are two-part: ``(group, name)``.  Each group is persisted as one
+    ``.npz`` file so that inference can load exactly one layer's worth of
+    plaintext diagonals at a time, bounding transient memory as the paper
+    describes.  When constructed without a directory the store keeps
+    everything in memory (useful for tests and small networks).
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._memory: Dict[str, Dict[str, np.ndarray]] = {}
+        self._cached_group: Optional[str] = None
+        self._cache: Dict[str, np.ndarray] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+    def put_group(self, group: str, arrays: Dict[str, np.ndarray]) -> None:
+        """Persist a whole group atomically (overwrites existing group)."""
+        if self.directory is None:
+            self._memory[group] = {k: np.asarray(v) for k, v in arrays.items()}
+        else:
+            np.savez(self._group_path(group), **arrays)
+        if self._cached_group == group:
+            self._cached_group = None
+            self._cache = {}
+
+    # -- reading -------------------------------------------------------
+    def get_group(self, group: str) -> Dict[str, np.ndarray]:
+        """Load an entire group into memory (cached for repeat access)."""
+        if self._cached_group == group:
+            return self._cache
+        if self.directory is None:
+            if group not in self._memory:
+                raise KeyError(f"unknown group {group!r}")
+            loaded = self._memory[group]
+        else:
+            path = self._group_path(group)
+            if not os.path.exists(path):
+                raise KeyError(f"unknown group {group!r}")
+            with np.load(path) as data:
+                loaded = {k: data[k] for k in data.files}
+        self._cached_group = group
+        self._cache = loaded
+        return loaded
+
+    def get(self, group: str, name: str) -> np.ndarray:
+        return self.get_group(group)[name]
+
+    def groups(self) -> List[str]:
+        if self.directory is None:
+            return sorted(self._memory)
+        names = []
+        for fname in os.listdir(self.directory):
+            if fname.endswith(".npz"):
+                names.append(fname[: -len(".npz")])
+        return sorted(names)
+
+    def __contains__(self, group: str) -> bool:
+        return group in self.groups()
+
+    def iter_group_items(self, group: str) -> Iterator:
+        return iter(self.get_group(group).items())
+
+    def evict(self) -> None:
+        """Drop the read cache (models bounded transient memory)."""
+        self._cached_group = None
+        self._cache = {}
+
+    def nbytes(self) -> int:
+        """Total stored bytes (in-memory mode sums arrays; disk mode stats files)."""
+        if self.directory is None:
+            return sum(
+                arr.nbytes for group in self._memory.values() for arr in group.values()
+            )
+        total = 0
+        for fname in os.listdir(self.directory):
+            if fname.endswith(".npz"):
+                total += os.path.getsize(os.path.join(self.directory, fname))
+        return total
+
+    def _group_path(self, group: str) -> str:
+        safe = group.replace("/", "_")
+        return os.path.join(self.directory, f"{safe}.npz")

@@ -1,0 +1,39 @@
+"""Shared fixtures: small CKKS contexts and backends are expensive to
+build, so session-scoped fixtures keep the suite fast."""
+
+import numpy as np
+import pytest
+
+from repro.backend import SimBackend, ToyBackend
+from repro.ckks.context import CkksContext
+from repro.ckks.params import paper_parameters, toy_parameters
+
+
+@pytest.fixture(scope="session")
+def toy_params():
+    return toy_parameters(ring_degree=512, max_level=6, scale_bits=21, boot_levels=2)
+
+
+@pytest.fixture(scope="session")
+def ckks(toy_params):
+    return CkksContext(toy_params, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def toy_backend(toy_params):
+    return ToyBackend(toy_params, seed=99)
+
+
+@pytest.fixture(scope="session")
+def sim_params():
+    return paper_parameters()
+
+
+@pytest.fixture()
+def sim_backend(sim_params):
+    return SimBackend(sim_params, seed=7)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

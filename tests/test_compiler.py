@@ -1,0 +1,205 @@
+"""Integration tests: orion networks through compile + FHE execution.
+
+These are the repository's strongest guarantees: the compiled FHE
+program must reproduce the cleartext network output on both backends,
+with levels, scales, and bootstraps all enforced exactly.
+"""
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+import repro.orion.nn as on
+from repro.backend import SimBackend, ToyBackend
+from repro.ckks.params import paper_parameters, toy_parameters
+from repro.models import LolaCnn, SecureMlp, resnet_cifar, silu_act, square_act
+from repro.models.resnet import BasicBlock
+from repro.nn import init
+from repro.orion import OrionNetwork
+
+
+@pytest.fixture(scope="module")
+def params():
+    return paper_parameters()
+
+
+def make_net(builder, shape, seed=0, calib_scale=0.5):
+    init.seed_init(seed)
+    net = builder()
+    rng = np.random.default_rng(seed)
+    onet = OrionNetwork(net, shape)
+    onet.fit([rng.normal(0, calib_scale, (8,) + shape)])
+    return onet, rng
+
+
+class TestMnistNetworks:
+    def test_mlp_depth_matches_paper(self, params):
+        onet, _ = make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        compiled = onet.compile(params)
+        assert compiled.multiplicative_depth == 5  # paper Table 2
+        assert compiled.num_bootstraps == 0
+
+    def test_mlp_fhe_matches_cleartext(self, params):
+        onet, rng = make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        compiled = onet.compile(params)
+        img = rng.normal(0, 0.5, (1, 8, 8))
+        clear = onet.forward_cleartext(img)
+        fhe = compiled.run(SimBackend(params, seed=1), img)
+        assert OrionNetwork.precision_bits(fhe, clear) > 8
+        assert fhe.argmax() == clear.argmax()
+
+    def test_lola_depth_five(self, params):
+        onet, _ = make_net(lambda: LolaCnn(image_size=16, channels=3), (1, 16, 16))
+        compiled = onet.compile(params)
+        # Single-shot multiplexing: conv-act-conv-act-fc = 5 levels
+        # (the Fhelipe baseline needs 10; paper Section 8.1).
+        assert compiled.multiplicative_depth == 5
+
+    def test_lola_on_exact_toy_backend(self):
+        tparams = toy_parameters(ring_degree=1024, max_level=6, boot_levels=1)
+        onet, rng = make_net(lambda: LolaCnn(image_size=8, channels=2), (1, 8, 8))
+        compiled = onet.compile(tparams)
+        img = rng.normal(0, 0.5, (1, 8, 8))
+        clear = onet.forward_cleartext(img)
+        fhe = compiled.run(ToyBackend(tparams, seed=2), img)
+        # Real RNS-CKKS at toy precision: several bits of agreement.
+        # (Untrained logits sit within noise of each other, so argmax is
+        # not asserted here; the trained examples check it.)
+        assert OrionNetwork.precision_bits(fhe, clear) > 3
+
+
+class TestResNetCompilation:
+    @pytest.fixture(scope="class")
+    def compiled_resnet(self, params):
+        onet, rng = make_net(
+            lambda: resnet_cifar(8, act=silu_act(31), width=4),
+            (3, 8, 8), seed=3,
+        )
+        return onet, rng, onet.compile(params)
+
+    def test_bootstraps_placed(self, compiled_resnet):
+        _, _, compiled = compiled_resnet
+        assert compiled.num_bootstraps > 0
+
+    def test_fhe_matches_cleartext(self, compiled_resnet):
+        onet, rng, compiled = compiled_resnet
+        img = rng.normal(0, 0.5, (3, 8, 8))
+        clear = onet.forward_cleartext(img)
+        backend = SimBackend(paper_parameters(), seed=5)
+        fhe = compiled.run(backend, img)
+        assert np.abs(fhe - clear).max() < 0.05
+        assert backend.ledger.bootstraps == compiled.num_bootstraps
+
+    def test_packed_cleartext_isolates_approximation(self, compiled_resnet):
+        """Packed (noise-free) execution differs from the exact forward
+        only by the polynomial activation approximation."""
+        onet, rng, compiled = compiled_resnet
+        img = rng.normal(0, 0.5, (3, 8, 8))
+        packed = compiled.program.run_cleartext_packed(img)
+        backend = SimBackend(paper_parameters(), seed=6, noise_free=True)
+        fhe = compiled.run(backend, img)
+        assert np.abs(packed - fhe).max() < 1e-6
+
+    def test_scale_invariant_delta_between_layers(self, compiled_resnet):
+        """Errorless scale management: linear-layer outputs sit at
+        exactly Delta (paper Figure 7)."""
+        onet, rng, compiled = compiled_resnet
+        img = rng.normal(0, 0.5, (3, 8, 8))
+        backend = SimBackend(paper_parameters(), seed=7)
+        from repro.core.program import ExecutionState, LinearInstr
+
+        state = ExecutionState(backend)
+        vectors = compiled.program.input_layout.pack(img / compiled.program.input_norm)
+        state.set(
+            compiled.program.input_uid,
+            [
+                backend.encrypt(backend.encode(v, compiled.program.entry_level,
+                                               backend.params.scale))
+                for v in vectors
+            ],
+        )
+        delta = Fraction(backend.params.scale)
+        for instr in compiled.program.instructions:
+            instr.execute(state)
+            if isinstance(instr, LinearInstr):
+                for ct in state.get(instr.out_uid):
+                    assert backend.scale_of(ct) == delta
+
+    def test_rotation_counts_match_ledger(self, compiled_resnet):
+        onet, rng, compiled = compiled_resnet
+        backend = SimBackend(paper_parameters(), seed=8)
+        compiled.run(backend, rng.normal(0, 0.5, (3, 8, 8)))
+        assert backend.ledger.rotations == compiled.total_rotations
+
+
+class TestReluNetworks:
+    def test_relu_composite_network(self, params):
+        onet, rng = make_net(
+            lambda: BasicBlock(2, 2, 1, act=lambda: on.ReLU(degrees=(15, 15))),
+            (2, 8, 8), seed=9,
+        )
+        compiled = onet.compile(params)
+        img = rng.normal(0, 0.5, (2, 8, 8))
+        clear = onet.forward_cleartext(img)
+        fhe = compiled.run(SimBackend(params, seed=10), img)
+        # ReLU approximation error dominates; still close.
+        assert np.abs(fhe - clear).max() < 0.1
+
+    def test_strided_block_gap_tracking(self, params):
+        onet, rng = make_net(
+            lambda: BasicBlock(2, 4, 2, act=lambda: on.Square()),
+            (2, 8, 8), seed=11, calib_scale=0.3,
+        )
+        compiled = onet.compile(params)
+        img = rng.normal(0, 0.3, (2, 8, 8))
+        clear = onet.forward_cleartext(img)
+        packed = compiled.program.run_cleartext_packed(img)
+        assert np.abs(packed - clear).max() < 1e-9
+
+
+class TestAnalyzeMode:
+    def test_analyze_matches_materialize_counts(self, params):
+        onet, _ = make_net(
+            lambda: resnet_cifar(8, act=silu_act(31), width=4), (3, 8, 8), seed=3
+        )
+        materialized = onet.compile(params)
+        analyzed = onet.compile(params, mode="analyze")
+        assert analyzed.program is None
+        # Conv counts must agree exactly; only the final FC is
+        # approximated in analyze mode.
+        conv_rots_m = sum(
+            r.rotations for r in materialized.layer_reports if "fc" not in r.name
+        )
+        conv_rots_a = sum(
+            r.rotations for r in analyzed.layer_reports if "fc" not in r.name
+        )
+        assert conv_rots_a == conv_rots_m
+        assert analyzed.num_bootstraps == materialized.num_bootstraps
+
+    def test_analyze_cannot_run(self, params):
+        onet, _ = make_net(lambda: SecureMlp(64, 8), (1, 8, 8))
+        compiled = onet.compile(params, mode="analyze")
+        with pytest.raises(RuntimeError):
+            compiled.run(SimBackend(params), np.zeros((1, 8, 8)))
+
+
+class TestRangeEstimation:
+    def test_values_stay_in_unit_range(self, params):
+        """After fit(), every bootstrap input is within [-1, 1] — the
+        executor would raise otherwise.  Use wide inputs to stress."""
+        onet, rng = make_net(
+            lambda: resnet_cifar(8, act=silu_act(31), width=4),
+            (3, 8, 8), seed=13, calib_scale=2.0,
+        )
+        compiled = onet.compile(params)
+        img = rng.normal(0, 2.0, (3, 8, 8))
+        fhe = compiled.run(SimBackend(params, seed=14), img)  # must not raise
+        clear = onet.forward_cleartext(img)
+        assert np.abs(fhe - clear).max() < 0.2
+
+    def test_without_fit_small_nets_still_compile(self, params):
+        init.seed_init(15)
+        net = SecureMlp(input_pixels=16, hidden=8)
+        onet = OrionNetwork(net, (1, 4, 4))
+        compiled = onet.compile(params)  # no calibration
+        assert compiled.multiplicative_depth == 5

@@ -1,0 +1,240 @@
+"""Tests for single-shot multiplexed packing (paper Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.packing import (
+    MultiplexedLayout,
+    VectorLayout,
+    analyze_conv_packing,
+    build_conv_packing,
+    build_linear_packing,
+    extract_generalized_diagonals,
+    lee_conv_rotations,
+    matvec_diagonal_cleartext,
+    plan_bsgs,
+)
+from repro.core.packing.analysis import analyze_toeplitz_strided_diagonals
+from repro.core.packing.bsgs import plan_bsgs_square_matrix
+
+N = 1024
+RNG = np.random.default_rng(7)
+
+
+def _check_conv(ci, co, h, w, k, stride=1, pad=0, gap=1, groups=1, dil=1, bias=True):
+    lay = MultiplexedLayout(ci, h, w, gap, N)
+    x = RNG.normal(size=(ci, h, w))
+    weight = RNG.normal(size=(co, ci // groups, k, k))
+    b = RNG.normal(size=co) if bias else None
+    packed = build_conv_packing(
+        weight, b, lay, stride=(stride, stride), padding=(pad, pad),
+        dilation=(dil, dil), groups=groups,
+    )
+    got = packed.out_layout.unpack(packed.execute_cleartext(lay.pack(x)))
+    ref = F.conv2d(
+        Tensor(x[None]), Tensor(weight), Tensor(b) if bias else None,
+        stride=(stride, stride), padding=(pad, pad), dilation=(dil, dil),
+        groups=groups,
+    ).data[0]
+    assert np.abs(got - ref).max() < 1e-9
+    return packed
+
+
+class TestLayouts:
+    def test_gap1_is_raster_scan(self):
+        lay = MultiplexedLayout(2, 4, 4, 1, N)
+        assert lay.slot(1, 2, 3) == 1 * 16 + 2 * 4 + 3
+
+    def test_pack_unpack_roundtrip(self):
+        lay = MultiplexedLayout(5, 4, 4, 2, N)
+        t = RNG.normal(size=(5, 4, 4))
+        assert np.allclose(lay.unpack(lay.pack(t)), t)
+
+    def test_gap_packs_channels_into_subblocks(self):
+        lay = MultiplexedLayout(4, 2, 2, 2, N)
+        # channels 0..3 of pixel (0,0) occupy the top-left 2x2 sub-block
+        slots = [lay.slot(c, 0, 0) for c in range(4)]
+        assert slots == [0, 1, 4, 5]  # grid width = 4
+
+    def test_multi_ciphertext_split(self):
+        lay = MultiplexedLayout(8, 16, 16, 1, N)
+        assert lay.num_ciphertexts == 2
+
+    def test_slot_of_logical_matches_slot(self):
+        lay = MultiplexedLayout(3, 4, 5, 1, N)
+        logical = 1 * 20 + 2 * 5 + 3
+        assert lay.slot_of_logical(logical) == lay.slot(1, 2, 3)
+
+    def test_vector_layout(self):
+        lay = VectorLayout(10, N)
+        vecs = lay.pack(np.arange(10.0))
+        assert len(vecs) == 1 and vecs[0][9] == 9
+        assert np.array_equal(lay.unpack(vecs), np.arange(10.0))
+
+
+class TestDiagonalMethod:
+    def test_matches_dense_matvec(self):
+        m = RNG.normal(size=(16, 16))
+        v = RNG.normal(size=16)
+        assert np.allclose(matvec_diagonal_cleartext(m, v), m @ v)
+
+    def test_diagonal_extraction_sparsity(self):
+        m = np.eye(8)
+        diags = extract_generalized_diagonals(m)
+        assert list(diags) == [0]
+
+    def test_bsgs_square_counts(self):
+        plain, bsgs = plan_bsgs_square_matrix(64)
+        assert plain == 63
+        assert bsgs == 14  # 8 + 8 - 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=40))
+    def test_bsgs_plan_covers_offsets(self, offsets):
+        plan = plan_bsgs(offsets, N)
+        for off in offsets:
+            giant, baby = plan.split(off % N)
+            assert giant + baby == off % N
+            assert baby in plan.babies
+            assert giant in plan.giants
+
+    def test_bsgs_beats_plain_for_dense_sets(self):
+        offsets = list(range(256))
+        plan = plan_bsgs(offsets, N)
+        assert plan.num_rotations < 255
+
+
+class TestConvPacking:
+    def test_siso_same_conv(self):
+        packed = _check_conv(1, 1, 8, 8, 3, stride=1, pad=1)
+        # 9 taps -> 9 diagonals, BSGS splits them.
+        assert packed.pmult_count() == 9
+        assert packed.rotation_count() <= 8
+
+    def test_mimo_conv(self):
+        _check_conv(2, 2, 8, 8, 3, stride=1, pad=1)
+
+    def test_strided_conv_single_level(self):
+        """The core single-shot claim: strided convs need one matvec."""
+        packed = _check_conv(1, 4, 8, 8, 2, stride=2, pad=0)
+        assert packed.out_layout.gap == 2
+
+    def test_strided_on_multiplexed_input(self):
+        packed = _check_conv(4, 8, 8, 8, 3, stride=2, pad=1, gap=2)
+        assert packed.out_layout.gap == 4
+
+    def test_grouped_and_depthwise(self):
+        _check_conv(4, 4, 8, 8, 3, pad=1, groups=2)
+        _check_conv(4, 4, 8, 8, 3, pad=1, groups=4)
+
+    def test_dilated(self):
+        _check_conv(2, 2, 9, 9, 3, pad=2, dil=2)
+
+    def test_multi_ciphertext_blocked(self):
+        packed = _check_conv(8, 8, 16, 16, 3, pad=1)
+        assert packed.num_in == 2 and packed.num_out == 2
+
+    def test_no_bias(self):
+        _check_conv(2, 3, 6, 6, 3, pad=1, bias=False)
+
+    def test_rejects_anisotropic_stride(self):
+        lay = MultiplexedLayout(1, 8, 8, 1, N)
+        with pytest.raises(ValueError):
+            build_conv_packing(np.zeros((1, 1, 2, 2)), None, lay, stride=(2, 1))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from([1, 2]),
+        st.sampled_from([0, 1]),
+    )
+    def test_random_conv_configs(self, ci, co, stride, pad):
+        _check_conv(ci, co, 8, 8, 3, stride=stride, pad=pad)
+
+
+class TestLinearPacking:
+    def test_fc_over_multiplexed_layout(self):
+        lay = MultiplexedLayout(4, 4, 4, 2, N)
+        x = RNG.normal(size=(4, 4, 4))
+        m = RNG.normal(size=(7, 64))
+        b = RNG.normal(size=7)
+        packed = build_linear_packing(m, b, lay)
+        got = packed.out_layout.unpack(packed.execute_cleartext(lay.pack(x)))
+        assert np.allclose(got, m @ x.ravel() + b)
+
+    def test_hybrid_vs_plain_same_answer(self):
+        lay = VectorLayout(128, N)
+        m = RNG.normal(size=(8, 128))
+        x = RNG.normal(size=128)
+        for mode in ("hybrid", "plain"):
+            packed = build_linear_packing(m, None, lay, force_mode=mode if mode == "hybrid" else None)
+            got = packed.out_layout.unpack(packed.execute_cleartext(lay.pack(x)))
+            assert np.allclose(got, m @ x)
+
+    def test_hybrid_reduces_rotations_for_squat_matrices(self):
+        lay = VectorLayout(512, N)
+        m = RNG.normal(size=(8, 512))
+        hybrid = build_linear_packing(m, None, lay, force_mode="hybrid")
+        # Plain diagonal method needs ~min(512, n) rotations; hybrid
+        # needs ~sqrt(8) + log2(n/8).
+        assert hybrid.rotation_count() < 40
+
+    def test_mismatched_width_raises(self):
+        lay = VectorLayout(16, N)
+        with pytest.raises(ValueError):
+            build_linear_packing(np.zeros((4, 32)), None, lay)
+
+
+class TestAnalysisMode:
+    def test_matches_materialized_counts(self):
+        """Closed-form analysis must agree with real construction for
+        interior-dominated convs."""
+        lay = MultiplexedLayout(8, 16, 16, 1, N)
+        w = RNG.normal(size=(8, 8, 3, 3))
+        packed = build_conv_packing(w, None, lay, padding=(1, 1))
+        stats = analyze_conv_packing(w.shape, lay, padding=(1, 1))
+        assert stats.pmults == packed.pmult_count()
+        assert stats.rotations == packed.rotation_count()
+        assert stats.out_layout.gap == packed.out_layout.gap
+
+    def test_strided_toeplitz_diagonal_blowup(self):
+        """Paper Figure 5a: naive strided Toeplitz diagonals scale with
+        the input size; single-shot multiplexing stays at ~f * c."""
+        lay = MultiplexedLayout(1, 16, 16, 1, N)
+        naive = analyze_toeplitz_strided_diagonals(lay, (2, 2), 2, c_out=4)
+        multiplexed = analyze_conv_packing((4, 1, 2, 2), lay, stride=(2, 2))
+        assert naive > 4 * multiplexed.pmults
+
+    def test_scales_to_imagenet_shapes(self):
+        lay = MultiplexedLayout(64, 56, 56, 1, 1 << 15)
+        stats = analyze_conv_packing((64, 64, 3, 3), lay, padding=(1, 1))
+        assert stats.pmults > 0 and stats.rotations > 0
+        assert stats.num_in_cts == lay.num_ciphertexts
+
+
+class TestLeeBaseline:
+    def test_lee_counts_grow_with_taps(self):
+        lay = MultiplexedLayout(16, 32, 32, 1, 1 << 15)
+        small = lee_conv_rotations(lay, (3, 3), 16)
+        big = lee_conv_rotations(lay, (5, 5), 16)
+        assert big > small
+
+    def test_strided_needs_collect_rotations(self):
+        lay = MultiplexedLayout(16, 32, 32, 1, 1 << 15)
+        flat = lee_conv_rotations(lay, (3, 3), 16, stride=1)
+        strided = lee_conv_rotations(lay, (3, 3), 16, stride=2)
+        assert strided > flat
+
+    def test_orion_beats_lee_on_wide_convs(self):
+        """The Table 3 direction: Orion's BSGS wins, more so for wider
+        channel counts."""
+        n = 1 << 15
+        lay = MultiplexedLayout(64, 16, 16, 1, n)
+        lee = lee_conv_rotations(lay, (3, 3), 64)
+        orion = analyze_conv_packing((64, 64, 3, 3), lay, padding=(1, 1)).rotations
+        assert orion < lee

@@ -1,0 +1,112 @@
+"""Tests for tracing and SESE region extraction."""
+
+import numpy as np
+import pytest
+
+import repro.orion.nn as on
+from repro.autograd.tensor import Tensor, no_grad
+from repro.trace.graph import TracedValue, tracer
+from repro.trace.sese import Chain, LayerItem, RegionItem, build_region_tree
+from repro.models.resnet import BasicBlock, resnet_cifar
+from repro.nn import init
+
+
+def trace_net(net, shape=(1, 4, 4)):
+    net.eval()
+    with no_grad():
+        with tracer() as graph:
+            net(TracedValue(Tensor(np.zeros((1,) + shape)), graph.input_uid))
+    return graph
+
+
+class _ChainNet(on.Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = on.Conv2d(1, 2, 3, 1, 1)
+        self.act = on.Square()
+        self.flat = on.Flatten()
+        self.fc = on.Linear(32, 4)
+
+    def forward(self, x):
+        return self.fc(self.flat(self.act(self.conv(x))))
+
+
+class _ResidualNet(on.Module):
+    def __init__(self):
+        super().__init__()
+        self.conv1 = on.Conv2d(1, 2, 3, 1, 1)
+        self.block = BasicBlock(2, 2, 1, act=lambda: on.Square())
+
+    def forward(self, x):
+        return self.block(self.conv1(x))
+
+
+class TestTracing:
+    def test_chain_records_all_leaves(self):
+        graph = trace_net(_ChainNet())
+        kinds = [type(n.module).__name__ for n in graph.nodes]
+        assert kinds == ["Conv2d", "Square", "Flatten", "Linear"]
+
+    def test_shapes_recorded(self):
+        graph = trace_net(_ChainNet())
+        assert graph.nodes[0].output_shape == (2, 4, 4)
+        assert graph.nodes[-1].output_shape == (4,)
+
+    def test_uids_connect(self):
+        graph = trace_net(_ChainNet())
+        for prev, nxt in zip(graph.nodes, graph.nodes[1:]):
+            assert nxt.inputs == (prev.output,)
+
+    def test_fork_detection(self):
+        graph = trace_net(_ResidualNet())
+        assert len(graph.fork_uids()) == 1
+
+    def test_not_tracing_runs_plain(self):
+        net = _ChainNet()
+        net.eval()
+        with no_grad():
+            out = net(Tensor(np.zeros((1, 1, 4, 4))))
+        assert out.shape == (1, 4)
+
+    def test_raw_tensor_during_trace_raises(self):
+        net = _ChainNet()
+        with tracer():
+            with pytest.raises(TypeError):
+                net.conv(Tensor(np.zeros((1, 1, 4, 4))))
+
+
+class TestRegionTree:
+    def test_chain_has_no_regions(self):
+        tree = build_region_tree(trace_net(_ChainNet()))
+        assert tree.region_count() == 0
+        assert len(tree.items) == 4
+
+    def test_residual_block_region(self):
+        tree = build_region_tree(trace_net(_ResidualNet()))
+        assert tree.region_count() == 1
+        region = next(i for i in tree.items if isinstance(i, RegionItem))
+        # Identity shortcut: one branch empty, join is the Add.
+        assert type(region.join.module).__name__ == "Add"
+        lens = sorted([len(region.branch_a.items), len(region.branch_b.items)])
+        assert lens[0] == 0 and lens[1] >= 4
+
+    def test_resnet20_region_count(self):
+        init.seed_init(0)
+        net = resnet_cifar(20, act=lambda: on.Square(), width=4)
+        tree = build_region_tree(trace_net(net, (3, 8, 8)))
+        # 9 residual blocks -> 9 regions.
+        assert tree.region_count() == 9
+
+    def test_layer_nodes_cover_graph(self):
+        graph = trace_net(_ResidualNet())
+        tree = build_region_tree(graph)
+        assert len(tree.layer_nodes()) == len(graph.nodes)
+
+    def test_projection_shortcut_region(self):
+        init.seed_init(0)
+        net = BasicBlock(2, 4, 2, act=lambda: on.Square())
+        graph = trace_net(net, (2, 8, 8))
+        tree = build_region_tree(graph)
+        region = next(i for i in tree.items if isinstance(i, RegionItem))
+        lens = sorted([len(region.branch_a.items), len(region.branch_b.items)])
+        assert lens[0] == 2  # conv + bn shortcut
