@@ -112,9 +112,12 @@ class FheBackend(abc.ABC):
     def rotate_group(self, a, steps: Sequence[int], hoisting: str = "double") -> Dict[int, object]:
         """Rotate one ciphertext by many amounts, amortizing key-switch work.
 
-        Default implementation delegates to :meth:`rotate` per step but
-        charges the hoisted price; backends may override for fidelity.
-        Rotation by 0 is free (returns the input).
+        Charges the price of the requested hoisting mode, then delegates
+        to :meth:`_rotate_group_no_charge` (per-step rotations by
+        default; exact backends share the real decomposition there).
+        ``hoisting="none"`` always executes and charges per-step
+        rotations, for faithful unhoisted baselines.  Rotation by 0 is
+        free (returns the input).
         """
         outputs: Dict[int, object] = {}
         unique_steps: List[int] = sorted({s % self.slot_count for s in steps})
@@ -125,6 +128,9 @@ class FheBackend(abc.ABC):
         if nonzero:
             if hoisting == "none":
                 self.ledger.charge("hrot", self.costs.hrot(level) * len(nonzero), len(nonzero))
+                for step in nonzero:
+                    outputs[step] = self._rotate_no_charge(a, step)
+                return outputs
             else:
                 shared = self.costs.ks_decompose(level)
                 per = self.costs.ks_inner(level)
@@ -136,9 +142,28 @@ class FheBackend(abc.ABC):
                 self.ledger.charge(
                     "hrot_hoisted", shared + per * len(nonzero), len(nonzero)
                 )
-            for step in nonzero:
-                outputs[step] = self._rotate_no_charge(a, step)
+            outputs.update(self._rotate_group_no_charge(a, nonzero))
         return outputs
+
+    def rotate_hoisted(self, a, steps: Sequence[int]) -> Dict[int, object]:
+        """Rotate one ciphertext by many amounts with a shared (hoisted)
+        key-switch decomposition, charged at the double-hoisted price.
+
+        This is the primitive :class:`repro.core.packing.matvec.PackedMatVec`
+        baby steps execute against; exact backends override the
+        underlying :meth:`_rotate_group_no_charge` so the decomposition
+        really is computed once (not just priced once).
+        """
+        return self.rotate_group(a, steps, hoisting="double")
+
+    def _rotate_group_no_charge(self, a, steps: Sequence[int]) -> Dict[int, object]:
+        """Multi-rotation primitive without ledger charges.
+
+        ``steps`` are unique, nonzero, already reduced mod slot count.
+        Default: one independent rotation per step; backends with a real
+        hoisted path override this.
+        """
+        return {step: self._rotate_no_charge(a, step) for step in steps}
 
     @abc.abstractmethod
     def _rotate_no_charge(self, a, steps: int):

@@ -95,6 +95,10 @@ class ToyBackend(FheBackend):
     def _rotate_no_charge(self, a: Ciphertext, steps: int) -> Ciphertext:
         return self.context.rotate(a, steps)
 
+    def _rotate_group_no_charge(self, a: Ciphertext, steps) -> dict:
+        """Real hoisting: decompose c1 once, reuse it for every step."""
+        return self.context.rotate_hoisted(a, steps)
+
     def conjugate(self, a: Ciphertext) -> Ciphertext:
         self.ledger.charge("hrot", self.costs.hrot(a.level))
         return self.context.conjugate(a)

@@ -5,12 +5,20 @@ real RLWE encryption, real hybrid key switching with a special prime,
 real rescaling.  The single substituted primitive is bootstrapping,
 which is an oracle refresh with the paper's external contract (see
 ``bootstrap`` below and DESIGN.md Section 1).
+
+Evaluation runs on the limb-batched hot-path engine: representation
+changes go through :class:`repro.ntt.NttChainEngine`, rotations apply
+Galois maps as evaluation-form permutations, and hybrid key switching
+is factored into decompose / inner-product / mod-down stages so
+:meth:`CkksContext.rotate_hoisted` can share one digit decomposition
+across many rotation keys (paper Section 3.3 hoisting).  No evaluator
+operation allocates object-dtype (bigint) arrays.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +26,7 @@ from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.encoding import get_encoder
 from repro.ckks.keys import KeyChain, SwitchingKey
 from repro.ckks.params import CkksParameters, RingType
+from repro.ntt import galois_eval_permutation
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import RnsPolynomial
 from repro.utils.rng import SeededRng
@@ -67,7 +76,7 @@ class CkksContext:
     def _noise_poly(self, primes) -> RnsPolynomial:
         n = self.params.ring_degree
         noise = self.rng.gaussian(self.params.sigma, n)
-        data = np.stack([noise % q for q in primes])
+        data = noise[None, :] % self.basis.moduli_column(primes)
         poly = RnsPolynomial(self.basis, primes, data, is_ntt=False)
         return poly.to_ntt()
 
@@ -83,7 +92,7 @@ class CkksContext:
         secret = RnsPolynomial(
             self.basis,
             chain,
-            np.stack([secret_coeffs % q for q in chain]),
+            secret_coeffs[None, :] % self.basis.moduli_column(chain),
             is_ntt=False,
         ).to_ntt()
         secret_squared = secret * secret
@@ -162,10 +171,17 @@ class CkksContext:
             )
         slots[: values.size] = values
         coeffs = self.encoder.slots_to_coeffs(slots) * float(scale)
-        int_coeffs = np.rint(coeffs).astype(object)
-        poly = RnsPolynomial.from_bigint_coeffs(
-            self.basis, self._data_chain(level), int_coeffs
-        )
+        rounded = np.rint(coeffs)
+        primes = self._data_chain(level)
+        if np.all(np.abs(rounded) < 2.0**62):
+            # Hot path: rounded coefficients fit int64 (always true for
+            # toy scales), so RNS reduction is one broadcasted %.
+            data = rounded.astype(np.int64)[None, :] % self.basis.moduli_column(primes)
+            poly = RnsPolynomial(self.basis, primes, data, is_ntt=False).to_ntt()
+        else:
+            poly = RnsPolynomial.from_bigint_coeffs(
+                self.basis, primes, rounded.astype(object)
+            )
         return Plaintext(poly=poly, level=level, scale=scale, slot_count=self.slot_count)
 
     def decode(self, plaintext: Plaintext) -> np.ndarray:
@@ -181,7 +197,10 @@ class CkksContext:
         pk1 = self._restrict(self.keys.public[1], primes)
         u_coeffs = self.rng.ternary(self.params.ring_degree)
         u = RnsPolynomial(
-            self.basis, primes, np.stack([u_coeffs % q for q in primes]), is_ntt=False
+            self.basis,
+            primes,
+            u_coeffs[None, :] % self.basis.moduli_column(primes),
+            is_ntt=False,
         ).to_ntt()
         e0 = self._noise_poly(primes)
         e1 = self._noise_poly(primes)
@@ -348,14 +367,31 @@ class CkksContext:
         return self.mul(a, a)
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
-        """Divide by the last prime; level drops by one (Section 2.5.2)."""
+        """Divide by the last prime; level drops by one (Section 2.5.2).
+
+        All ciphertext components are stacked through one batched
+        divide-and-round pass (they share the dropped limb's inverse
+        NTT and the lift's forward NTT).
+        """
         if ct.level == 0:
             raise ValueError("cannot rescale a level-0 ciphertext")
         last_prime = self._data_chain(ct.level)[-1]
+        polys = [ct.c0, ct.c1] + ([] if ct.c2 is None else [ct.c2])
+        primes = polys[0].primes
+        if all(p.is_ntt and p.primes == primes for p in polys):
+            stacked = self.basis.divide_round_last(
+                np.stack([p.data for p in polys]), primes, is_ntt=True
+            )
+            divided = [
+                RnsPolynomial(self.basis, primes[:-1], row, is_ntt=True)
+                for row in stacked
+            ]
+        else:
+            divided = [p.divide_and_round_by_last() for p in polys]
         return Ciphertext(
-            c0=ct.c0.divide_and_round_by_last(),
-            c1=ct.c1.divide_and_round_by_last(),
-            c2=None if ct.c2 is None else ct.c2.divide_and_round_by_last(),
+            c0=divided[0],
+            c1=divided[1],
+            c2=divided[2] if ct.c2 is not None else None,
             level=ct.level - 1,
             scale=ct.scale / last_prime,
             slot_count=ct.slot_count,
@@ -403,33 +439,143 @@ class CkksContext:
             slot_count=ct.slot_count,
         )
 
+    def _ks_decompose(self, d: RnsPolynomial, level: int) -> np.ndarray:
+        """Digit-decompose ``d`` for hybrid key switching (the hoistable
+        part: one inverse NTT of ``d`` plus one batched forward NTT of
+        every digit raised to the Q_l * P chain).
+
+        Returns an int64 array of shape ``(digits, len(ks_chain), N)``
+        in evaluation form.  The decomposition commutes with Galois
+        automorphisms, so hoisted rotations reuse it across many keys.
+        """
+        ks_chain = self._ks_chain(level)
+        num_digits = level + 1
+        d_coeff = d.to_coeff()
+        src = d_coeff.data[:num_digits]
+        src_col = self.basis.moduli_column(d.primes[:num_digits])
+        centered = np.where(src > src_col // 2, src - src_col, src)
+        # Stride-0 broadcast across the ks chain: the engine's twist
+        # multiply materializes and reduces, so no explicit % pass here.
+        shape = (num_digits, len(ks_chain), centered.shape[-1])
+        lifted = np.broadcast_to(centered[:, None, :], shape)
+        return self.basis.forward_chain(lifted, ks_chain)
+
+    def _key_tensors(self, key: SwitchingKey, level: int) -> np.ndarray:
+        """Switching-key pairs stacked as one (2, digits, ks_limbs, N)
+        tensor (b rows first, a rows second), cached per ks chain."""
+        ks_chain = self._ks_chain(level)
+        cache_key = (ks_chain, level + 1)
+        tensor = key.cache.get(cache_key)
+        if tensor is None:
+            idx = [key.pairs[0][0].primes.index(q) for q in ks_chain]
+            tensor = np.stack(
+                [
+                    np.stack([b.data[idx] for b, _ in key.pairs[: level + 1]]),
+                    np.stack([a.data[idx] for _, a in key.pairs[: level + 1]]),
+                ]
+            )
+            key.cache[cache_key] = tensor
+        return tensor
+
+    def _ks_inner(
+        self,
+        digits: np.ndarray,
+        key: SwitchingKey,
+        level: int,
+        _max_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """Inner products sum_i digit_i * key_i over the Q_l * P chain.
+
+        Returns a ``(2, ks_limbs, N)`` evaluation-form tensor holding
+        both accumulators.  Products are summed lazily in int64 —
+        ``chunk`` digits fit before a reduction is needed, so the hot
+        path performs a single ``%`` on the small accumulator instead of
+        one full-size ``%`` per digit product.  ``_max_chunk`` caps the
+        chunk size (tests use it to force the chunked fallback that
+        real parameter sets only hit with ~31-bit primes).
+        """
+        ks_chain = self._ks_chain(level)
+        ba = self._key_tensors(key, level)
+        mod_col = self.basis.moduli_column(ks_chain)
+        num_digits = digits.shape[0]
+        chunk = (2**63 - 1) // ((max(ks_chain) - 1) ** 2)
+        if _max_chunk is not None:
+            chunk = min(chunk, _max_chunk)
+        if num_digits <= chunk:
+            return (digits * ba).sum(axis=1) % mod_col
+        acc = np.zeros((2, len(ks_chain), digits.shape[-1]), dtype=np.int64)
+        for start in range(0, num_digits, chunk):
+            part = digits[start : start + chunk] * ba[:, start : start + chunk]
+            acc += part.sum(axis=1) % mod_col
+        return acc % mod_col
+
+    def _ks_moddown(self, acc: np.ndarray, level: int):
+        """Divide both accumulators by the special modulus P.
+
+        ``acc`` is the ``(2, ks_limbs, N)`` tensor from :meth:`_ks_inner`;
+        both rows share each batched divide-and-round pass.
+        """
+        chain = self._ks_chain(level)
+        for _ in range(self.params.num_special_primes):
+            acc = self.basis.divide_round_last(acc, chain, is_ntt=True)
+            chain = chain[:-1]
+        return (
+            RnsPolynomial(self.basis, chain, acc[0], is_ntt=True),
+            RnsPolynomial(self.basis, chain, acc[1], is_ntt=True),
+        )
+
     def _keyswitch(self, d: RnsPolynomial, key: SwitchingKey, level: int):
         """Hybrid key switch of polynomial ``d`` at the given level.
 
         Decomposes d into per-limb digits, multiplies by the switching
-        key over Q_l * P, and divides by the special modulus P.
+        key over Q_l * P, and divides by the special modulus P.  All
+        three stages are limb-batched; see :meth:`rotate_hoisted` for
+        the variant that shares the decomposition across many keys.
         """
-        ks_chain = self._ks_chain(level)
-        acc0 = RnsPolynomial.zero(self.basis, ks_chain)
-        acc1 = RnsPolynomial.zero(self.basis, ks_chain)
-        d_coeff = d.to_coeff()
-        for digit_index in range(level + 1):
-            q_i = d.primes[digit_index]
-            row = d_coeff.data[digit_index]
-            centered = np.where(row > q_i // 2, row - q_i, row)
-            digit = RnsPolynomial(
-                self.basis,
-                ks_chain,
-                np.stack([centered % q for q in ks_chain]),
-                is_ntt=False,
-            ).to_ntt()
-            b_i, a_i = key.pairs[digit_index]
-            acc0 = acc0 + digit * self._restrict(b_i, ks_chain)
-            acc1 = acc1 + digit * self._restrict(a_i, ks_chain)
-        for _ in range(self.params.num_special_primes):
-            acc0 = acc0.divide_and_round_by_last()
-            acc1 = acc1.divide_and_round_by_last()
-        return acc0, acc1
+        digits = self._ks_decompose(d, level)
+        acc = self._ks_inner(digits, key, level)
+        return self._ks_moddown(acc, level)
+
+    def rotate_hoisted(self, ct: Ciphertext, steps_list: Iterable[int]) -> Dict[int, Ciphertext]:
+        """Rotate one ciphertext by many step amounts, hoisting the
+        key-switch digit decomposition (Section 3.3 "double hoisting").
+
+        The expensive part of a rotation — inverse-transforming c1 and
+        raising every digit to the Q_l * P basis — depends only on c1,
+        not on the rotation amount, because per-limb digit decomposition
+        commutes with Galois automorphisms.  It is computed once; each
+        step then costs one evaluation-form permutation of the digit
+        tensor, one inner product with its switching key, and the
+        mod-down.
+
+        Returns ``{step: rotated ciphertext}``; step 0 maps to ``ct``.
+        """
+        if ct.c2 is not None:
+            raise ValueError("relinearize before rotating")
+        outputs: Dict[int, Ciphertext] = {}
+        unique_steps = sorted({s % self.slot_count for s in steps_list})
+        if 0 in unique_steps:
+            outputs[0] = ct
+        nonzero = [s for s in unique_steps if s != 0]
+        if not nonzero:
+            return outputs
+        digits = self._ks_decompose(ct.c1, ct.level)
+        n = self.params.ring_degree
+        for step in nonzero:
+            exponent = self.encoder.rotation_exponent(step)
+            key = self.galois_key(exponent)
+            perm = galois_eval_permutation(n, exponent)
+            acc = self._ks_inner(digits[..., perm], key, ct.level)
+            p0, p1 = self._ks_moddown(acc, ct.level)
+            rot0 = ct.c0.automorphism(exponent)
+            outputs[step] = Ciphertext(
+                c0=rot0 + p0,
+                c1=p1,
+                level=ct.level,
+                scale=ct.scale,
+                slot_count=ct.slot_count,
+            )
+        return outputs
 
     # ------------------------------------------------------------------
     # Bootstrapping (oracle; documented substitution)

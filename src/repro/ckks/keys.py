@@ -19,9 +19,15 @@ from repro.rns.poly import RnsPolynomial
 
 @dataclass
 class SwitchingKey:
-    """One RLWE pair (b_i, a_i) per decomposition digit, over Q*P."""
+    """One RLWE pair (b_i, a_i) per decomposition digit, over Q*P.
+
+    ``cache`` holds the pairs re-stacked as ``(digits, limbs, N)``
+    tensors per key-switch chain, so the hoisted inner product is a
+    single broadcasted multiply instead of a per-digit Python loop.
+    """
 
     pairs: List[Tuple[RnsPolynomial, RnsPolynomial]]
+    cache: Dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.pairs)

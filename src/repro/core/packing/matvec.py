@@ -13,9 +13,10 @@ between the plain diagonal form and Gazelle's hybrid method (replicated
 squat rows + rotate-and-sum fold) by modeled rotation count.
 
 Execution uses double-hoisted BSGS on any :class:`FheBackend`: baby
-rotations of each input ciphertext are hoisted (shared key-switch
-decomposition); diagonals are pre-rotated at build time so giant steps
-apply to accumulated sums (Eq. 1 of the paper).
+rotations of each input ciphertext go through ``rotate_hoisted`` (a
+genuinely shared key-switch digit decomposition on exact backends, not
+just a shared ledger price); diagonals are pre-rotated at build time so
+giant steps apply to accumulated sums (Eq. 1 of the paper).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -57,6 +59,11 @@ class PackedMatVec:
     fold_shifts: Tuple[int, ...] = ()
     bias_vecs: Optional[List[np.ndarray]] = None
     name: str = "linear"
+    # Weight plaintexts are static; encode once per (backend, level,
+    # scale) and reuse across executions (paper: "pre-processable").
+    _pt_cache: WeakKeyDictionary = field(
+        default_factory=WeakKeyDictionary, repr=False, compare=False
+    )
 
     # -- op-count queries (paper Tables 2-4) ---------------------------------
     def _babies_for_in_block(self, bi: int) -> List[int]:
@@ -120,8 +127,16 @@ class PackedMatVec:
         rotated: Dict[int, Dict[int, object]] = {}
         for bi in range(self.num_in):
             babies = self._babies_for_in_block(bi)
-            rotated[bi] = backend.rotate_group(in_cts[bi], babies, hoisting=hoisting)
+            if hoisting == "double":
+                rotated[bi] = backend.rotate_hoisted(in_cts[bi], babies)
+            else:
+                rotated[bi] = backend.rotate_group(in_cts[bi], babies, hoisting=hoisting)
 
+        per_backend = self._pt_cache.get(backend)
+        if per_backend is None:
+            per_backend = {}
+            self._pt_cache[backend] = per_backend
+        pt_cache = per_backend.setdefault((level, pt_scale), {})
         outputs = []
         for bo in range(self.num_out):
             acc_by_giant: Dict[int, object] = {}
@@ -131,7 +146,10 @@ class PackedMatVec:
                     continue
                 for offset, vec in dmap.items():
                     giant, baby = self.plan.split(offset)
-                    pt = backend.encode(vec, level, pt_scale)
+                    pt = pt_cache.get((bo, bi, offset))
+                    if pt is None:
+                        pt = backend.encode(vec, level, pt_scale)
+                        pt_cache[(bo, bi, offset)] = pt
                     term = backend.mul_plain(rotated[bi][baby], pt)
                     if giant in acc_by_giant:
                         acc_by_giant[giant] = backend.add(acc_by_giant[giant], term)

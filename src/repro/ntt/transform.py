@@ -97,10 +97,8 @@ class NttContext:
         """In-place style iterative DIT cyclic FFT over Z_q (vectorized)."""
         q = self.q
         n = self.n
-        a = values.copy()
-        # Bit-reverse reorder.
-        rev = _bit_reverse_cache(n)
-        a = a[..., rev]
+        # Bit-reverse reorder (the fancy-index gather already copies).
+        a = values[..., _bit_reverse_cache(n)]
         half = 1
         stage = 0
         while half < n:
@@ -148,6 +146,30 @@ def _bit_reverse_cache(n: int) -> np.ndarray:
 
         _BITREV_CACHE[n] = bit_reverse_indices(n)
     return _BITREV_CACHE[n]
+
+
+_GALOIS_EVAL_CACHE = {}
+
+
+def galois_eval_permutation(n: int, exponent: int) -> np.ndarray:
+    """Slot-index permutation realizing X -> X^t on evaluation-form data.
+
+    Forward-transform bin ``k`` holds the evaluation of the polynomial
+    at ``psi^(2k+1)``, so the Galois map sigma_t sends bin ``k`` to the
+    value previously held at the bin whose odd exponent is
+    ``t * (2k+1) mod 2N``.  Applying sigma_t in NTT form is therefore a
+    pure gather ``evals[perm]`` — no transforms and no sign flips.
+    Cached per ``(n, t)`` like the bit-reversal tables.
+    """
+    if exponent % 2 == 0:
+        raise ValueError("automorphism exponent must be odd")
+    key = (n, exponent % (2 * n))
+    perm = _GALOIS_EVAL_CACHE.get(key)
+    if perm is None:
+        k = np.arange(n, dtype=np.int64)
+        perm = (((key[1] * (2 * k + 1)) % (2 * n)) - 1) // 2
+        _GALOIS_EVAL_CACHE[key] = perm
+    return perm
 
 
 def negacyclic_convolve_reference(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:

@@ -3,8 +3,11 @@
 A CKKS polynomial with a huge modulus Q = prod(q_i) is stored as a
 matrix of shape (num_limbs, N): one row of small residues per prime
 (paper Section 2.4).  Addition and multiplication act limb-wise; the
-expensive cross-limb operations (rescale, mod-down, CRT reconstruction)
-live here too.
+expensive cross-limb operations (rescale, mod-down, fast basis
+conversion, CRT reconstruction) live here too.  All hot paths are
+limb-batched int64 numpy (the chain-level NTT engine, broadcastable
+moduli columns, tensorized divide-and-round); exact big-integer CRT is
+kept only as the validation reference.
 """
 
 from repro.rns.basis import RnsBasis

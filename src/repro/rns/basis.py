@@ -1,4 +1,13 @@
-"""RNS basis: a chain of NTT-friendly primes with shared tables."""
+"""RNS basis: a chain of NTT-friendly primes with shared tables.
+
+Besides the per-prime :class:`NttContext` tables, the basis owns one
+:class:`NttChainEngine` that transforms whole ``(L, N)`` residue
+matrices in a single vectorized pass (``forward_chain``/``inverse_chain``),
+plus caches for the ``(L, 1)`` moduli columns and modular-inverse
+columns that every pointwise ring operation broadcasts against.  The
+exact big-integer CRT stays available for validation; the hot paths
+(:meth:`convert_residues`) never leave int64.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.ntt import NttContext
+from repro.ntt import NttChainEngine, NttContext
 from repro.utils.intmath import mod_inverse
 
 
@@ -37,7 +46,13 @@ class RnsBasis:
         self.ntts: Dict[int, NttContext] = {
             q: NttContext(q, ring_degree) for q in self.primes
         }
+        self.engine = NttChainEngine([self.ntts[q] for q in self.primes])
+        self._prime_index: Dict[int, int] = {q: i for i, q in enumerate(self.primes)}
         self._inv_cache: Dict[Tuple[int, int], int] = {}
+        self._rows_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        self._mod_col_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._inv_col_cache: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._convert_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], tuple] = {}
 
     # -- structure -----------------------------------------------------
     @property
@@ -75,6 +90,137 @@ class RnsBasis:
         if key not in self._inv_cache:
             self._inv_cache[key] = mod_inverse(value % prime, prime)
         return self._inv_cache[key]
+
+    # -- broadcast-column caches ---------------------------------------
+    def moduli_column(self, primes: Sequence[int]) -> np.ndarray:
+        """Cached ``(L, 1)`` int64 column of the given prime chain."""
+        key = tuple(primes)
+        col = self._mod_col_cache.get(key)
+        if col is None:
+            col = np.array(key, dtype=np.int64)[:, None]
+            col.setflags(write=False)
+            self._mod_col_cache[key] = col
+        return col
+
+    def inverse_column(self, value: int, primes: Sequence[int]) -> np.ndarray:
+        """Cached ``(L, 1)`` column of ``value^-1 mod q`` per prime."""
+        key = (value, tuple(primes))
+        col = self._inv_col_cache.get(key)
+        if col is None:
+            col = np.array(
+                [self.inverse(value, q) for q in key[1]], dtype=np.int64
+            )[:, None]
+            col.setflags(write=False)
+            self._inv_col_cache[key] = col
+        return col
+
+    # -- chain-level NTT ------------------------------------------------
+    def chain_rows(self, primes: Sequence[int]) -> Tuple[int, ...]:
+        """Engine row indices for a sub-chain of this basis (cached)."""
+        key = tuple(primes)
+        rows = self._rows_cache.get(key)
+        if rows is None:
+            rows = tuple(self._prime_index[q] for q in key)
+            self._rows_cache[key] = rows
+        return rows
+
+    def forward_chain(self, data: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+        """Batched coefficient -> NTT transform of all limb rows at once.
+
+        ``data`` has shape ``(..., len(primes), N)``; leading dimensions
+        (e.g. key-switch digits) are transformed in the same pass.
+        """
+        return self.engine.forward(data, self.chain_rows(primes))
+
+    def inverse_chain(self, data: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+        """Batched NTT -> coefficient transform of all limb rows at once."""
+        return self.engine.inverse(data, self.chain_rows(primes))
+
+    # -- divide-and-round (rescale / mod-down core) ---------------------
+    def divide_round_last(
+        self, data: np.ndarray, primes: Sequence[int], is_ntt: bool
+    ) -> np.ndarray:
+        """Drop the last limb, dividing by its prime with exact rounding.
+
+        Computes ``round(x / q_last)`` limb-wise on a ``(..., L, N)``
+        residue tensor: ``(x_i - [x]_{q_last}) * q_last^{-1} mod q_i``
+        with a centered lift of ``[x]_{q_last}``.  Evaluation-form input
+        stays in evaluation form: only the dropped limb is
+        inverse-transformed and its lift re-transformed onto the
+        remaining limbs in one batched pass.  Leading dimensions (e.g.
+        the (c0, c1) pair of a ciphertext) ride along for free.
+        """
+        primes = tuple(primes)
+        if len(primes) < 2:
+            raise ValueError("need at least two limbs to divide")
+        last_prime = primes[-1]
+        remaining = primes[:-1]
+        mod_col = self.moduli_column(remaining)
+        inv_col = self.inverse_column(last_prime, remaining)
+        last_rows = data[..., -1:, :]
+        if is_ntt:
+            last_rows = self.inverse_chain(last_rows, (last_prime,))
+        half = last_prime // 2
+        centered = np.where(last_rows > half, last_rows - last_prime, last_rows)
+        shape = data.shape[:-2] + (len(remaining), data.shape[-1])
+        if is_ntt:
+            lift = self.forward_chain(np.broadcast_to(centered, shape), remaining)
+        else:
+            lift = centered % mod_col
+        return ((data[..., :-1, :] - lift) * inv_col) % mod_col
+
+    # -- fast RNS basis conversion --------------------------------------
+    def _convert_tables(self, src: Tuple[int, ...], dst: Tuple[int, ...]):
+        key = (src, dst)
+        tables = self._convert_cache.get(key)
+        if tables is None:
+            q_total = 1
+            for p in src:
+                q_total *= p
+            # v_i = |x * (Q/q_i)^{-1}|_{q_i}; then
+            # x = sum_i v_i * (Q/q_i) - alpha * Q with alpha = round(sum v_i/q_i).
+            inv_qhat = np.array(
+                [self.inverse(q_total // p, p) for p in src], dtype=np.int64
+            )[:, None]
+            qhat_mod = np.array(
+                [[(q_total // s) % d for s in src] for d in dst], dtype=np.int64
+            )[:, :, None]
+            q_mod = np.array([q_total % d for d in dst], dtype=np.int64)[:, None]
+            src_col = self.moduli_column(src)
+            dst_col = self.moduli_column(dst)
+            tables = (inv_qhat, qhat_mod, q_mod, src_col, dst_col[:, None, :], dst_col)
+            self._convert_cache[key] = tables
+        return tables
+
+    def convert_residues(
+        self, limbs: np.ndarray, src_primes: Sequence[int], dst_primes: Sequence[int]
+    ) -> np.ndarray:
+        """Fast int64 RNS basis conversion (HPS-style, no big integers).
+
+        Converts residues of the *centered* value represented by
+        ``limbs`` over ``src_primes`` into residues over ``dst_primes``.
+        The overflow count alpha is recovered with a float64 sum of
+        ``v_i / q_i``, which is exact unless the centered value lies
+        within ~2^-48 of +-Q/2 — far outside anything the evaluator
+        produces.  Use :meth:`crt_reconstruct` when bit-exactness at the
+        extreme boundary matters more than speed.
+        """
+        src = tuple(src_primes)
+        dst = tuple(dst_primes)
+        inv_qhat, qhat_mod, q_mod, src_col, dst_3d, dst_col = self._convert_tables(
+            src, dst
+        )
+        v = (limbs * inv_qhat) % src_col  # (S, N)
+        alpha = np.rint((v / src_col).sum(axis=0)).astype(np.int64)  # (N,)
+        terms = (v[None, :, :] * qhat_mod) % dst_3d  # (D, S, N)
+        out = (terms.sum(axis=1) - alpha[None, :] * q_mod) % dst_col
+        # Shared primes carry over verbatim (Q = 0 mod q_i for q_i | Q).
+        src_pos = {p: i for i, p in enumerate(src)}
+        for j, p in enumerate(dst):
+            i = src_pos.get(p)
+            if i is not None:
+                out[j] = limbs[i]
+        return out
 
     # -- CRT -----------------------------------------------------------
     def crt_reconstruct(self, limbs: np.ndarray, primes: Sequence[int]) -> np.ndarray:

@@ -4,6 +4,14 @@ An :class:`RnsPolynomial` holds one residue row per active prime and a
 flag saying whether rows are in coefficient or NTT (evaluation) form.
 Pointwise ring operations act limb-wise; rescaling and mod-down move
 between levels of the modulus chain (paper Sections 2.4-2.5).
+
+Hot-path design: representation changes run through the basis's
+:class:`repro.ntt.NttChainEngine` (all limbs in one vectorized pass),
+Galois automorphisms on evaluation-form data are a cached slot-index
+gather (no transforms), rescaling inverse-transforms only the dropped
+limb, and basis extension uses fast int64 conversion.  No operation
+here allocates an object-dtype (Python bigint) array except the
+explicitly ``*_reference`` / ``to_bigint_coeffs`` validation paths.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.ntt import galois_eval_permutation
 from repro.rns.basis import RnsBasis
 
 ScalarPerLimb = Union[int, Sequence[int]]
@@ -42,6 +51,11 @@ class RnsPolynomial:
                 f"({len(self.primes)}, {basis.ring_degree})"
             )
 
+    @property
+    def _moduli(self) -> np.ndarray:
+        """Cached ``(L, 1)`` moduli column for broadcasting."""
+        return self.basis.moduli_column(self.primes)
+
     # -- constructors ----------------------------------------------------
     @classmethod
     def from_bigint_coeffs(
@@ -64,18 +78,14 @@ class RnsPolynomial:
     def to_ntt(self) -> "RnsPolynomial":
         if self.is_ntt:
             return self
-        rows = [
-            self.basis.ntts[q].forward(row) for q, row in zip(self.primes, self.data)
-        ]
-        return RnsPolynomial(self.basis, self.primes, np.stack(rows), is_ntt=True)
+        data = self.basis.forward_chain(self.data, self.primes)
+        return RnsPolynomial(self.basis, self.primes, data, is_ntt=True)
 
     def to_coeff(self) -> "RnsPolynomial":
         if not self.is_ntt:
             return self
-        rows = [
-            self.basis.ntts[q].inverse(row) for q, row in zip(self.primes, self.data)
-        ]
-        return RnsPolynomial(self.basis, self.primes, np.stack(rows), is_ntt=False)
+        data = self.basis.inverse_chain(self.data, self.primes)
+        return RnsPolynomial(self.basis, self.primes, data, is_ntt=False)
 
     def to_bigint_coeffs(self) -> np.ndarray:
         """Centered big-integer coefficients (exact CRT)."""
@@ -93,27 +103,24 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        moduli = np.array(self.primes, dtype=np.int64)[:, None]
-        data = (self.data + other.data) % moduli
+        data = (self.data + other.data) % self._moduli
         return RnsPolynomial(self.basis, self.primes, data, self.is_ntt)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        moduli = np.array(self.primes, dtype=np.int64)[:, None]
-        data = (self.data - other.data) % moduli
+        data = (self.data - other.data) % self._moduli
         return RnsPolynomial(self.basis, self.primes, data, self.is_ntt)
 
     def __neg__(self) -> "RnsPolynomial":
-        moduli = np.array(self.primes, dtype=np.int64)[:, None]
-        return RnsPolynomial(self.basis, self.primes, (-self.data) % moduli, self.is_ntt)
+        data = (-self.data) % self._moduli
+        return RnsPolynomial(self.basis, self.primes, data, self.is_ntt)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Negacyclic product; both operands must be in NTT form."""
         self._check_compatible(other)
         if not self.is_ntt:
             raise ValueError("multiply polynomials in NTT form")
-        moduli = np.array(self.primes, dtype=np.int64)[:, None]
-        data = (self.data * other.data) % moduli
+        data = (self.data * other.data) % self._moduli
         return RnsPolynomial(self.basis, self.primes, data, is_ntt=True)
 
     def scalar_mul(self, scalar: ScalarPerLimb) -> "RnsPolynomial":
@@ -122,9 +129,8 @@ class RnsPolynomial:
             factors = [int(scalar) % q for q in self.primes]
         else:
             factors = [int(s) % q for s, q in zip(scalar, self.primes)]
-        moduli = np.array(self.primes, dtype=np.int64)[:, None]
         factor_col = np.array(factors, dtype=np.int64)[:, None]
-        data = (self.data * factor_col) % moduli
+        data = (self.data * factor_col) % self._moduli
         return RnsPolynomial(self.basis, self.primes, data, self.is_ntt)
 
     # -- automorphisms -------------------------------------------------------
@@ -132,25 +138,30 @@ class RnsPolynomial:
         """Apply the Galois map X -> X^exponent (exponent odd mod 2N).
 
         Used for slot rotations (exponent = 5^k) and conjugation
-        (exponent = 2N - 1); see paper Section 2.5.3.
+        (exponent = 2N - 1); see paper Section 2.5.3.  On evaluation-form
+        data this is a cached slot-index permutation (one gather, no NTT
+        round-trips); on coefficient-form data it is the signed
+        coefficient permutation.
         """
         n = self.basis.ring_degree
         two_n = 2 * n
         if exponent % 2 == 0:
             raise ValueError("automorphism exponent must be odd")
         exponent %= two_n
-        coeff = self.to_coeff()
+        if self.is_ntt:
+            perm = galois_eval_permutation(n, exponent)
+            return RnsPolynomial(
+                self.basis, self.primes, self.data[:, perm], is_ntt=True
+            )
         src = np.arange(n, dtype=np.int64)
         dest = (src * exponent) % two_n
         sign_flip = dest >= n
         dest = np.where(sign_flip, dest - n, dest)
-        moduli = np.array(self.primes, dtype=np.int64)[:, None]
-        signed = np.where(sign_flip[None, :], -coeff.data, coeff.data)
-        out = np.zeros_like(coeff.data)
+        signed = np.where(sign_flip[None, :], -self.data, self.data)
+        out = np.zeros_like(self.data)
         out[:, dest] = signed
-        out %= moduli
-        result = RnsPolynomial(self.basis, self.primes, out, is_ntt=False)
-        return result.to_ntt() if self.is_ntt else result
+        out %= self._moduli
+        return RnsPolynomial(self.basis, self.primes, out, is_ntt=False)
 
     # -- level movement ---------------------------------------------------
     def drop_limbs(self, count: int = 1) -> "RnsPolynomial":
@@ -171,29 +182,38 @@ class RnsPolynomial:
         prime P).  Computes round(x / q_last) limb-wise:
         (x_i - [x]_{q_last}) * q_last^{-1} mod q_i, with a centered lift
         of [x]_{q_last} so the result is a proper rounding.
+
+        Evaluation-form inputs stay in evaluation form: only the dropped
+        limb is inverse-transformed, its centered lift is re-transformed
+        onto the remaining limbs in one batched pass, and the division
+        happens pointwise — no full NTT round-trip.  The tensor core
+        lives in :meth:`RnsBasis.divide_round_last` so rescaling can
+        batch (c0, c1) pairs through it in one call.
         """
-        if len(self.primes) < 2:
-            raise ValueError("need at least two limbs to divide")
-        coeff = self.to_coeff()
-        last_prime = self.primes[-1]
-        last_row = coeff.data[-1]
-        centered = np.where(last_row > last_prime // 2, last_row - last_prime, last_row)
-        remaining = self.primes[:-1]
-        rows = []
-        for q, row in zip(remaining, coeff.data[:-1]):
-            inv = self.basis.inverse(last_prime, q)
-            rows.append(((row - centered) * inv) % q)
-        result = RnsPolynomial(
-            self.basis, remaining, np.stack(rows), is_ntt=False
-        )
-        return result.to_ntt() if self.is_ntt else result
+        data = self.basis.divide_round_last(self.data, self.primes, self.is_ntt)
+        return RnsPolynomial(self.basis, self.primes[:-1], data, self.is_ntt)
 
     def extend_primes(self, new_primes) -> "RnsPolynomial":
-        """Exactly extend the residue representation to more primes.
+        """Extend the residue representation to more primes (fast path).
 
-        Reconstructs the centered integer value and reduces modulo the
-        new chain.  Used to raise ciphertext digits to the Q*P basis
-        during hybrid key switching.
+        Converts the centered value to the new chain with the basis's
+        int64 fast conversion (:meth:`RnsBasis.convert_residues`); used
+        to raise ciphertext digits to the Q*P basis during hybrid key
+        switching.  See :meth:`extend_primes_reference` for the exact
+        big-integer CRT version this is validated against.
+        """
+        new_primes = tuple(new_primes)
+        coeff = self.to_coeff()
+        data = self.basis.convert_residues(coeff.data, coeff.primes, new_primes)
+        result = RnsPolynomial(self.basis, new_primes, data, is_ntt=False)
+        return result.to_ntt() if self.is_ntt else result
+
+    def extend_primes_reference(self, new_primes) -> "RnsPolynomial":
+        """Exact big-integer basis extension (validation reference).
+
+        Reconstructs the centered integer value with the full CRT and
+        reduces modulo the new chain.  Allocates object-dtype arrays;
+        never used on the evaluator hot path.
         """
         bigints = self.to_bigint_coeffs()
         return RnsPolynomial.from_bigint_coeffs(

@@ -1,0 +1,333 @@
+"""Tests for the limb-batched hot-path engine.
+
+Covers the chain-level NTT against the schoolbook negacyclic reference,
+NTT-domain automorphisms against the coefficient-domain path, fast RNS
+basis conversion against exact CRT, hoisted key switching against the
+unhoisted path, and a regression guard that the evaluator hot paths
+never allocate object-dtype (Python bigint) arrays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import ToyBackend
+from repro.ckks.params import toy_parameters
+from repro.ntt import galois_eval_permutation, negacyclic_convolve_reference
+from repro.rns import RnsBasis, RnsPolynomial
+from repro.utils.primes import find_ntt_primes
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def basis():
+    primes = find_ntt_primes(26, 4, N) + find_ntt_primes(28, 1, N)
+    return RnsBasis(primes, N, num_special=1)
+
+
+class TestBatchedNtt:
+    def test_chain_roundtrip_all_levels(self, basis):
+        rng = np.random.default_rng(0)
+        for limbs in range(1, len(basis.primes) + 1):
+            primes = basis.primes[:limbs]
+            data = np.stack([rng.integers(0, q, N) for q in primes])
+            fwd = basis.forward_chain(data, primes)
+            assert fwd.dtype == np.int64
+            assert np.array_equal(basis.inverse_chain(fwd, primes), data)
+
+    def test_chain_matches_per_prime_contexts(self, basis):
+        """The batched engine agrees with NttContext limb by limb."""
+        rng = np.random.default_rng(1)
+        primes = basis.primes
+        data = np.stack([rng.integers(0, q, N) for q in primes])
+        fwd = basis.forward_chain(data, primes)
+        for row, q, out in zip(data, primes, fwd):
+            assert np.array_equal(out, basis.ntts[q].forward(row))
+
+    def test_chain_on_noncontiguous_subset(self, basis):
+        """Key-switch chains skip primes; row gathering must follow."""
+        rng = np.random.default_rng(2)
+        primes = basis.primes[:2] + basis.special_primes
+        data = np.stack([rng.integers(0, q, N) for q in primes])
+        fwd = basis.forward_chain(data, primes)
+        for row, q, out in zip(data, primes, fwd):
+            assert np.array_equal(out, basis.ntts[q].forward(row))
+
+    def test_leading_dimensions_batch(self, basis):
+        """(D, L, N) digit stacks transform exactly like separate calls."""
+        rng = np.random.default_rng(3)
+        primes = basis.primes[:3]
+        stack = np.stack(
+            [np.stack([rng.integers(0, q, N) for q in primes]) for _ in range(4)]
+        )
+        batched = basis.forward_chain(stack, primes)
+        for d in range(4):
+            assert np.array_equal(batched[d], basis.forward_chain(stack[d], primes))
+
+    def test_multiply_matches_schoolbook_reference(self, basis):
+        rng = np.random.default_rng(4)
+        primes = basis.primes[:3]
+        a = np.stack([rng.integers(0, q, N) for q in primes])
+        b = np.stack([rng.integers(0, q, N) for q in primes])
+        mod_col = basis.moduli_column(primes)
+        prod = basis.inverse_chain(
+            (basis.forward_chain(a, primes) * basis.forward_chain(b, primes))
+            % mod_col,
+            primes,
+        )
+        for row_a, row_b, row_p, q in zip(a, b, prod, primes):
+            assert np.array_equal(
+                row_p, negacyclic_convolve_reference(row_a, row_b, q)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=1, max_value=5))
+    def test_property_random_limbs_and_levels(self, seed, limbs):
+        basis = _shared_basis()
+        rng = np.random.default_rng(seed)
+        primes = basis.primes[:limbs]
+        a = np.stack([rng.integers(0, q, N) for q in primes])
+        b = np.stack([rng.integers(0, q, N) for q in primes])
+        mod_col = basis.moduli_column(primes)
+        prod = basis.inverse_chain(
+            (basis.forward_chain(a, primes) * basis.forward_chain(b, primes))
+            % mod_col,
+            primes,
+        )
+        for row_a, row_b, row_p, q in zip(a, b, prod, primes):
+            assert np.array_equal(
+                row_p, negacyclic_convolve_reference(row_a, row_b, q)
+            )
+
+
+class TestNttDomainAutomorphism:
+    def _random_poly(self, basis, primes, seed):
+        rng = np.random.default_rng(seed)
+        data = np.stack([rng.integers(0, q, N) for q in primes])
+        return RnsPolynomial(basis, primes, data, is_ntt=True)
+
+    @pytest.mark.parametrize("exponent", [5, 25, 3, 2 * N - 1])
+    def test_matches_coeff_domain_path(self, basis, exponent):
+        poly = self._random_poly(basis, basis.primes[:3], exponent)
+        fast = poly.automorphism(exponent)
+        assert fast.is_ntt
+        slow = poly.to_coeff().automorphism(exponent).to_ntt()
+        assert np.array_equal(fast.data, slow.data)
+
+    def test_permutation_is_cached(self):
+        p1 = galois_eval_permutation(N, 5)
+        p2 = galois_eval_permutation(N, 5 + 2 * N)
+        assert p1 is p2
+
+    def test_rejects_even_exponent(self, basis):
+        poly = self._random_poly(basis, basis.primes[:2], 0)
+        with pytest.raises(ValueError):
+            poly.automorphism(4)
+
+    def test_composition_matches_single_step(self, basis):
+        """sigma_5 twice equals sigma_25 on evaluation-form data."""
+        poly = self._random_poly(basis, basis.primes[:2], 7)
+        twice = poly.automorphism(5).automorphism(5)
+        once = poly.automorphism(25)
+        assert np.array_equal(twice.data, once.data)
+
+
+class TestFastBasisConversion:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=10, max_value=58),
+    )
+    def test_matches_exact_crt(self, seed, limbs, magnitude_bits):
+        """Fast conversion equals the bigint reference over random data."""
+        basis = _shared_basis()
+        rng = np.random.default_rng(seed)
+        primes = basis.primes[:limbs]
+        bound = min(1 << magnitude_bits, basis.modulus(limbs) // 2 - 1)
+        coeffs = rng.integers(-bound, bound + 1, N).astype(object)
+        poly = RnsPolynomial.from_bigint_coeffs(basis, primes, coeffs, to_ntt=False)
+        target = primes + basis.special_primes
+        fast = poly.extend_primes(target)
+        exact = poly.extend_primes_reference(target)
+        assert fast.data.dtype == np.int64
+        assert np.array_equal(fast.data, exact.data)
+
+    def test_extend_preserves_value(self, basis):
+        rng = np.random.default_rng(11)
+        primes = basis.primes[:2]
+        coeffs = rng.integers(-1000, 1000, N).astype(object)
+        poly = RnsPolynomial.from_bigint_coeffs(basis, primes, coeffs)
+        extended = poly.extend_primes(primes + basis.special_primes)
+        assert extended.is_ntt
+        assert np.array_equal(extended.to_bigint_coeffs(), coeffs)
+
+    def test_shared_primes_copied_verbatim(self, basis):
+        rng = np.random.default_rng(12)
+        primes = basis.primes[:3]
+        coeffs = rng.integers(-(1 << 30), 1 << 30, N).astype(object)
+        poly = RnsPolynomial.from_bigint_coeffs(basis, primes, coeffs, to_ntt=False)
+        extended = poly.extend_primes(primes + basis.special_primes)
+        assert np.array_equal(extended.data[: len(primes)], poly.data)
+
+
+class TestHoistedKeySwitch:
+    @pytest.fixture(scope="class")
+    def backend(self):
+        params = toy_parameters(ring_degree=256, max_level=5, scale_bits=21, boot_levels=2)
+        return ToyBackend(params, seed=5)
+
+    def test_rotate_hoisted_bitwise_equals_rotate(self, backend):
+        """Hoisting shares the decomposition but must change nothing."""
+        ctx = backend.context
+        values = np.linspace(-1, 1, backend.slot_count)
+        ct = backend.encode_encrypt(values)
+        hoisted = ctx.rotate_hoisted(ct, [0, 1, 3, 5])
+        assert hoisted[0] is ct
+        for step in (1, 3, 5):
+            plain = ctx.rotate(ct, step)
+            assert np.array_equal(hoisted[step].c0.data, plain.c0.data)
+            assert np.array_equal(hoisted[step].c1.data, plain.c1.data)
+
+    def test_rotate_group_uses_real_hoisting(self, backend):
+        values = np.linspace(-1, 1, backend.slot_count)
+        ct = backend.encode_encrypt(values)
+        outs = backend.rotate_group(ct, [1, 2])
+        for step in (1, 2):
+            got = backend.decrypt(outs[step])
+            assert np.abs(got - np.roll(values, -step)).max() < 2e-2
+
+    def test_rotate_hoisted_interface_charges_hoisted_price(self, backend):
+        values = np.linspace(-1, 1, backend.slot_count)
+        ct = backend.encode_encrypt(values)
+        backend.ledger.reset()
+        backend.rotate_hoisted(ct, [1, 2, 3])
+        assert backend.ledger.counts["hrot_hoisted"] == 3
+
+    def test_chunked_inner_product_matches_fast_path(self, backend):
+        """Force the overflow-safe chunked accumulation (only reached
+        with ~31-bit primes in real configs) and compare exactly."""
+        ctx = backend.context
+        values = np.linspace(-1, 1, backend.slot_count)
+        ct = backend.encode_encrypt(values)
+        key = ctx.galois_key(ctx.encoder.rotation_exponent(1))
+        digits = ctx._ks_decompose(ct.c1, ct.level)
+        fast = ctx._ks_inner(digits, key, ct.level)
+        for max_chunk in (1, 2, 3):
+            chunked = ctx._ks_inner(digits, key, ct.level, _max_chunk=max_chunk)
+            assert np.array_equal(fast, chunked)
+
+    def test_rejects_degree_two(self, backend):
+        ctx = backend.context
+        values = np.linspace(-1, 1, backend.slot_count)
+        ct = backend.encode_encrypt(values)
+        sq = ctx.mul(ct, ct, relinearize=False)
+        with pytest.raises(ValueError):
+            ctx.rotate_hoisted(sq, [1])
+
+
+class TestNoBigintOnHotPaths:
+    """Regression guard: encrypt/rotate/mul/rescale stay in int64 land."""
+
+    @pytest.fixture()
+    def guarded_backend(self, monkeypatch):
+        params = toy_parameters(ring_degree=256, max_level=5, scale_bits=21, boot_levels=2)
+        backend = ToyBackend(params, seed=9)
+        values = np.linspace(-1, 1, backend.slot_count)
+        pt = backend.encode(values, params.max_level, params.scale)
+        ct = backend.encrypt(pt)
+        # Pre-generate the rotation key outside the guard (keygen is
+        # compile-time; the guard covers evaluation).
+        backend.context.galois_key(backend.context.encoder.rotation_exponent(1))
+
+        def forbid(*args, **kwargs):
+            raise AssertionError("bigint path reached from an evaluator hot path")
+
+        monkeypatch.setattr(RnsBasis, "crt_reconstruct", forbid)
+        monkeypatch.setattr(RnsBasis, "reduce_bigints", forbid)
+        monkeypatch.setattr(RnsPolynomial, "to_bigint_coeffs", forbid)
+        monkeypatch.setattr(RnsPolynomial, "from_bigint_coeffs", forbid)
+        original_init = RnsPolynomial.__init__
+
+        def checked_init(self, basis, primes, data, is_ntt):
+            assert data.dtype == np.int64, f"object-dtype poly: {data.dtype}"
+            original_init(self, basis, primes, data, is_ntt)
+
+        monkeypatch.setattr(RnsPolynomial, "__init__", checked_init)
+        return backend, pt, ct
+
+    def test_encrypt(self, guarded_backend):
+        backend, pt, _ = guarded_backend
+        ct = backend.encrypt(pt)
+        assert ct.c0.data.dtype == np.int64
+
+    def test_rotate(self, guarded_backend):
+        backend, _, ct = guarded_backend
+        out = backend.rotate(ct, 1)
+        assert out.c0.data.dtype == np.int64
+
+    def test_rotate_hoisted(self, guarded_backend):
+        backend, _, ct = guarded_backend
+        outs = backend.rotate_hoisted(ct, [1])
+        assert outs[1].c1.data.dtype == np.int64
+
+    def test_mul_and_relinearize(self, guarded_backend):
+        backend, _, ct = guarded_backend
+        out = backend.mul(ct, ct)
+        assert out.c0.data.dtype == np.int64
+
+    def test_mul_plain(self, guarded_backend):
+        backend, pt, ct = guarded_backend
+        out = backend.mul_plain(ct, pt)
+        assert out.c0.data.dtype == np.int64
+
+    def test_rescale(self, guarded_backend):
+        backend, pt, ct = guarded_backend
+        out = backend.rescale(backend.mul_plain(ct, pt))
+        assert out.c0.data.dtype == np.int64
+
+
+class TestBatchedRescale:
+    def test_matches_per_poly_division(self):
+        params = toy_parameters(ring_degree=256, max_level=5, scale_bits=21, boot_levels=2)
+        backend = ToyBackend(params, seed=3)
+        values = np.linspace(-1, 1, backend.slot_count)
+        ct = backend.encode_encrypt(values)
+        pt = backend.encode(values, ct.level, params.scale)
+        prod = backend.mul_plain(ct, pt)
+        fast = backend.rescale(prod)
+        assert np.array_equal(
+            fast.c0.data, prod.c0.divide_and_round_by_last().data
+        )
+        assert np.array_equal(
+            fast.c1.data, prod.c1.divide_and_round_by_last().data
+        )
+
+    def test_coeff_form_division_matches_reference(self, basis):
+        """The non-NTT divide path agrees with integer rounding."""
+        rng = np.random.default_rng(13)
+        primes = basis.primes[:3]
+        last = primes[-1]
+        coeffs = rng.integers(-(1 << 40), 1 << 40, N).astype(object)
+        poly = RnsPolynomial.from_bigint_coeffs(basis, primes, coeffs, to_ntt=False)
+        divided = poly.divide_and_round_by_last()
+        assert not divided.is_ntt
+        got = divided.to_bigint_coeffs()
+        for value, out in zip(coeffs, got):
+            rem = int(value) % last
+            if rem > last // 2:
+                rem -= last
+            assert int(out) == (int(value) - rem) // last
+
+
+_BASIS_CACHE = {}
+
+
+def _shared_basis():
+    key = "default"
+    if key not in _BASIS_CACHE:
+        primes = find_ntt_primes(26, 5, N) + find_ntt_primes(28, 1, N)
+        _BASIS_CACHE[key] = RnsBasis(primes, N, num_special=1)
+    return _BASIS_CACHE[key]
