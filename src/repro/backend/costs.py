@@ -55,9 +55,21 @@ class CostModel:
     def _limbs(self, level: int) -> int:
         return level + 1
 
+    @property
+    def _effective_alpha(self) -> int:
+        """Limbs per digit used for pricing.
+
+        When the parameter set itself groups digits (``ks_alpha > 1``,
+        realized exactly by the toy backend) the model prices that
+        grouping; otherwise it falls back to the model's own ``alpha``
+        (the paper-scale assumption for production parameter sets).
+        """
+        ks_alpha = getattr(self.params, "ks_alpha", 1)
+        return ks_alpha if ks_alpha > 1 else self.alpha
+
     def dnum(self, level: int) -> int:
         """Key-switch decomposition number at the given level."""
-        return max(1, math.ceil(self._limbs(level) / self.alpha))
+        return max(1, math.ceil(self._limbs(level) / self._effective_alpha))
 
     # -- primitive ops (paper Figure 1) -----------------------------------
     def hadd(self, level: int) -> float:
@@ -74,6 +86,12 @@ class CostModel:
         """Encoding a cleartext (iFFT + NTT); charged by Fhelipe-style
         backends that encode diagonals on the fly (paper Table 4)."""
         return self.c_encode * self._limbs(level) * self._unit
+
+    def pmult_fused(self, level: int) -> float:
+        """Plaintext multiply against a raw Q_l * P accumulator: wider
+        than :meth:`pmult` by the special limbs (fused matvec path)."""
+        limbs = self._limbs(level) + self.params.num_special_primes
+        return self.c_pmult * limbs * self._unit
 
     # -- key switching, decomposed for hoisting ---------------------------
     def ks_decompose(self, level: int) -> float:
@@ -115,12 +133,30 @@ class CostModel:
             self.params.effective_level if effective_level is None else effective_level
         )
         top_limbs = l_eff + self.params.boot_levels + 1
-        top_dnum = max(1, math.ceil(top_limbs / self.alpha))
+        top_dnum = max(1, math.ceil(top_limbs / self._effective_alpha))
         return (
             self.c_boot_base + self.c_boot_quad * top_limbs * top_limbs * top_dnum
         ) * self._unit
 
     # -- aggregated helpers for the packing planner -----------------------
+    def matvec_fused_rotations(
+        self, level: int, num_offsets: int, num_in: int = 1, num_out: int = 1
+    ) -> float:
+        """Rotation cost of the fully-fused matvec path.
+
+        One digit decomposition per input ciphertext (every rotation —
+        baby or giant — acts on the same c1 after the giant steps are
+        folded into the pre-rotated plaintexts), one inner product per
+        distinct nonzero diagonal offset, and one deferred mod-down per
+        output ciphertext.  dnum-aware through :meth:`ks_decompose` /
+        :meth:`ks_inner`.
+        """
+        return (
+            num_in * self.ks_decompose(level)
+            + num_offsets * self.ks_inner(level)
+            + num_out * self.ks_moddown(level)
+        )
+
     def matvec_cost(
         self,
         level: int,
@@ -128,6 +164,8 @@ class CostModel:
         num_baby: int,
         num_giant: int,
         hoisting: str = "double",
+        num_in: int = 1,
+        num_out: int = 1,
     ) -> float:
         """Modeled cost of one BSGS matrix-vector product.
 
@@ -136,8 +174,26 @@ class CostModel:
             num_diagonals: plaintext diagonals multiplied (PMult count).
             num_baby: distinct baby-step rotations.
             num_giant: distinct giant-step rotations.
-            hoisting: 'none' | 'single' | 'double' (Section 3.3).
+            hoisting: 'none' | 'single' | 'double' (Section 3.3), or
+                'fused' for the fully-hoisted deferred-mod-down path
+                (one decomposition, one inner product per diagonal
+                offset, one mod-down; plaintext multiplies run over the
+                extended Q_l * P basis).  The 'fused' price is slightly
+                conservative: it treats every diagonal as a rotated
+                offset, while execution skips the key switch (and the
+                Q_l * P width) for offset-0 diagonals.
+            num_in: input ciphertext blocks ('fused' only: one
+                decomposition each).
+            num_out: output ciphertext blocks ('fused' only: one
+                deferred mod-down each).
         """
+        if hoisting == "fused":
+            pm = num_diagonals * self.pmult_fused(level)
+            adds = max(0, num_diagonals - 1) * self.hadd(level)
+            rots = self.matvec_fused_rotations(
+                level, num_diagonals, num_in=num_in, num_out=num_out
+            )
+            return pm + adds + rots + self.rescale(level)
         pm = num_diagonals * self.pmult(level)
         adds = max(0, num_diagonals - 1) * self.hadd(level)
         if hoisting == "none":

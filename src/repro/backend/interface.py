@@ -165,6 +165,91 @@ class FheBackend(abc.ABC):
         """
         return {step: self._rotate_no_charge(a, step) for step in steps}
 
+    # -- fused matvec (deferred mod-down, Section 3.3) --------------------------
+    @property
+    def supports_fused_matvec(self) -> bool:
+        """Whether this backend overrides :meth:`_matvec_fused_no_charge`.
+
+        Callers check this before building the fused term vectors so
+        backends without a fused path never pay the preparation cost.
+        """
+        return (
+            type(self)._matvec_fused_no_charge
+            is not FheBackend._matvec_fused_no_charge
+        )
+
+    def matvec_fused(
+        self,
+        in_cts: Sequence,
+        terms: Dict,
+        num_out: int,
+        pt_scale: ScaleLike,
+        pt_cache: Optional[Dict] = None,
+        charged_rotations: Optional[int] = None,
+    ) -> Optional[List]:
+        """Fully-hoisted diagonal accumulation with deferred mod-down.
+
+        ``terms`` maps ``(out_block, in_block, offset)`` to the slot
+        vector of that diagonal (the *original* diagonal — the giant
+        pre-rotation is already folded out, so every offset rotates the
+        input ciphertext directly and all rotations of one input share a
+        single key-switch digit decomposition).  Exact backends keep the
+        per-offset products in the extended Q_l * P basis and mod down
+        once per output block (Bossuat et al. [11] double hoisting).
+
+        Returns one pre-rescale ciphertext per output block at scale
+        ``input_scale * pt_scale`` (``None`` for blocks with no terms),
+        or ``None`` when the backend has no fused path — callers then
+        fall back to the per-rotation BSGS pipeline.
+
+        ``pt_cache`` (keyed by term) persists encoded/lifted weight
+        plaintexts across executions.  ``charged_rotations`` overrides
+        the rotation *count* written to the ledger (the matvec layer
+        passes its BSGS baby+giant count so "# Rots" accounting stays
+        comparable with compile-time predictions and the paper tables);
+        the *seconds* charged are always the fused price.
+        """
+        outs = self._matvec_fused_no_charge(in_cts, terms, num_out, pt_scale, pt_cache)
+        if outs is None:
+            return None
+        level = self.level_of(in_cts[0])
+        num_offsets = len({(bi, off) for (_, bi, off) in terms if off})
+        # Only blocks with nonzero offsets pay decompose / mod-down
+        # (offset-0 terms are plain pt * ct products, no key switch).
+        num_in_used = len({bi for (_, bi, off) in terms if off})
+        num_out_used = len({bo for (bo, _, off) in terms if off})
+        rot_count = num_offsets if charged_rotations is None else charged_rotations
+        self.ledger.charge(
+            "hrot_hoisted",
+            self.costs.matvec_fused_rotations(
+                level, num_offsets, num_in_used, num_out_used
+            ),
+            rot_count,
+        )
+        self.ledger.charge(
+            "pmult", self.costs.pmult_fused(level) * len(terms), len(terms)
+        )
+        num_out_blocks = len({bo for (bo, _, _) in terms})
+        adds = max(0, len(terms) - num_out_blocks)
+        if adds:
+            self.ledger.charge("hadd", self.costs.hadd(level) * adds, adds)
+        return outs
+
+    def _matvec_fused_no_charge(
+        self,
+        in_cts: Sequence,
+        terms: Dict,
+        num_out: int,
+        pt_scale: ScaleLike,
+        pt_cache: Optional[Dict] = None,
+    ) -> Optional[List]:
+        """Fused-matvec primitive without ledger charges.
+
+        Default: unsupported (``None``), which makes :meth:`matvec_fused`
+        report "no fused path" and callers fall back.
+        """
+        return None
+
     @abc.abstractmethod
     def _rotate_no_charge(self, a, steps: int):
         """Rotation primitive without ledger charges (used by rotate_group)."""

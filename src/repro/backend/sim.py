@@ -207,6 +207,55 @@ class SimBackend(FheBackend):
         std = float(np.hypot(a.noise_std, self._ks_noise))
         return SimCiphertext(values, a.level, a.scale, std)
 
+    def _matvec_fused_no_charge(
+        self,
+        in_cts: Sequence[SimCiphertext],
+        terms,
+        num_out: int,
+        pt_scale: ScaleLike,
+        pt_cache=None,
+    ) -> Optional[list]:
+        """Functional fused matvec: exact SIMD semantics, fused noise.
+
+        Mirrors the exact backend's fused path: every diagonal offset
+        rotates the input directly (one hoisted decomposition per input
+        block) and each output block pays a single deferred mod-down, so
+        one key-switch noise term is injected per distinct offset plus
+        one for the mod-down — slightly *less* noise than the per-baby
+        mod-downs of the unfused path, matching Bossuat et al. [11].
+        """
+        level = in_cts[0].level
+        scale = in_cts[0].scale
+        for ct in in_cts:
+            if ct.level != level:
+                raise ValueError(f"matvec: level mismatch {ct.level} vs {level}")
+            if ct.scale != scale:
+                raise ValueError(f"matvec: scale mismatch {ct.scale} vs {scale}")
+        out_scale = scale * Fraction(pt_scale)
+        outputs = []
+        for bo in range(num_out):
+            bo_terms = sorted(
+                (bi, off) for (bo2, bi, off) in terms if bo2 == bo
+            )
+            if not bo_terms:
+                outputs.append(None)
+                continue
+            values = np.zeros(self.slot_count)
+            var = 0.0
+            for bi, off in bo_terms:
+                vec = terms[(bo, bi, off)]
+                values = values + vec * np.roll(in_cts[bi].values, -off)
+                mag = float(np.max(np.abs(vec))) if np.size(vec) else 0.0
+                var += (in_cts[bi].noise_std * max(mag, 1e-30)) ** 2
+            num_rots = len({(bi, off) for bi, off in bo_terms if off})
+            # One ks noise per distinct offset plus one for the deferred
+            # mod-down; blocks without rotations perform no key switch.
+            ks_std = self._ks_noise * np.sqrt(num_rots + 1.0) if num_rots else 0.0
+            values = values + self._noise(self.slot_count, ks_std)
+            std = float(np.sqrt(var + ks_std**2))
+            outputs.append(SimCiphertext(values, level, out_scale, std))
+        return outputs
+
     def bootstrap(self, a: SimCiphertext) -> SimCiphertext:
         """Refresh to L_eff; inputs must be within [-1, 1] (Section 6)."""
         max_abs = float(np.max(np.abs(a.values))) if a.values.size else 0.0

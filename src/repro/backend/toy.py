@@ -9,7 +9,7 @@ irrelevant (tiny rings).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from repro.backend.interface import FheBackend, ScaleLike
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.context import CkksContext
 from repro.ckks.params import CkksParameters
+from repro.rns.poly import RnsPolynomial
 
 
 class ToyBackend(FheBackend):
@@ -102,6 +103,123 @@ class ToyBackend(FheBackend):
     def conjugate(self, a: Ciphertext) -> Ciphertext:
         self.ledger.charge("hrot", self.costs.hrot(a.level))
         return self.context.conjugate(a)
+
+    def _matvec_fused_no_charge(
+        self,
+        in_cts: Sequence[Ciphertext],
+        terms: Dict,
+        num_out: int,
+        pt_scale: ScaleLike,
+        pt_cache: Optional[Dict] = None,
+    ) -> Optional[List[Optional[Ciphertext]]]:
+        """Exact fused diagonal accumulation (true double hoisting).
+
+        Every rotation of an input ciphertext reuses one digit
+        decomposition (:meth:`CkksContext.rotate_hoisted_raw`); the
+        per-offset products against Q_l * P-lifted weight plaintexts are
+        summed lazily in int64 (the chunked-reduction trick of
+        ``_ks_inner``) and a single ``_ks_moddown`` per output block
+        replaces the per-rotation mod-downs of the unfused path.
+        """
+        ctx = self.context
+        level = in_cts[0].level
+        scale = in_cts[0].scale
+        for ct in in_cts:
+            if ct.level != level:
+                raise ValueError(f"level mismatch: {ct.level} vs {level}")
+            if ct.scale != scale:
+                raise ValueError(f"scale mismatch: {ct.scale} vs {scale}")
+            if ct.c2 is not None:
+                raise ValueError("relinearize before a matvec")
+        basis = ctx.basis
+        ks_chain = ctx._ks_chain(level)
+        data_primes = ctx._data_chain(level)
+        mod_ks = basis.moduli_column(ks_chain)
+        mod_q = basis.moduli_column(data_primes)
+        cache = {} if pt_cache is None else pt_cache
+        pt_scale = Fraction(pt_scale)
+
+        # One shared decomposition per input block, raw (pre mod-down).
+        offsets_by_bi: Dict[int, set] = {}
+        for (_, bi, off) in terms:
+            if off:
+                offsets_by_bi.setdefault(bi, set()).add(off)
+        raw = {
+            bi: ctx.rotate_hoisted_raw(in_cts[bi], offs)
+            for bi, offs in offsets_by_bi.items()
+        }
+
+        # Lazy int64 accumulation: `chunk` products fit between
+        # reductions (entries stay < max_q after each `%` pass).
+        max_q = max(ks_chain)
+        chunk = (2**63 - 1 - (max_q - 1)) // ((max_q - 1) ** 2)
+        if chunk < 1:
+            raise ValueError(
+                f"key-switch primes near 2^{max_q.bit_length()} overflow the "
+                "int64 lazy accumulator; the exact backend needs < 32-bit primes"
+            )
+        outputs: List[Optional[Ciphertext]] = []
+        for bo in range(num_out):
+            bo_terms = sorted(
+                (bi, off) for (bo2, bi, off), _ in terms.items() if bo2 == bo
+            )
+            if not bo_terms:
+                outputs.append(None)
+                continue
+            acc_ext = np.zeros((2, len(ks_chain), basis.ring_degree), dtype=np.int64)
+            acc_c0 = np.zeros((len(data_primes), basis.ring_degree), dtype=np.int64)
+            acc_c1 = None
+            pending_ext = pending_q = 0
+            has_rotated = False
+            for bi, off in bo_terms:
+                entry = cache.get((bo, bi, off))
+                if entry is None:
+                    pt = ctx.encode(terms[(bo, bi, off)], level=level, scale=pt_scale)
+                    pt_ext = (
+                        pt.poly.extend_primes(ks_chain).data if off else None
+                    )
+                    entry = (pt, pt_ext)
+                    cache[(bo, bi, off)] = entry
+                pt, pt_ext = entry
+                if pending_q == chunk:
+                    acc_c0 %= mod_q
+                    if acc_c1 is not None:
+                        acc_c1 %= mod_q
+                    pending_q = 0
+                if off:
+                    rot0, acc = raw[bi][off]
+                    acc_c0 += pt.poly.data * rot0.data
+                    if pending_ext == chunk:
+                        acc_ext %= mod_ks
+                        pending_ext = 0
+                    acc_ext += pt_ext * acc
+                    pending_ext += 1
+                    has_rotated = True
+                else:
+                    acc_c0 += pt.poly.data * in_cts[bi].c0.data
+                    if acc_c1 is None:
+                        acc_c1 = np.zeros_like(acc_c0)
+                    acc_c1 += pt.poly.data * in_cts[bi].c1.data
+                pending_q += 1
+            acc_c0 %= mod_q
+            if acc_c1 is not None:
+                acc_c1 %= mod_q
+            if has_rotated:
+                p0, p1 = ctx._ks_moddown(acc_ext % mod_ks, level)
+                c0_data = (acc_c0 + p0.data) % mod_q
+                c1_data = p1.data if acc_c1 is None else (acc_c1 + p1.data) % mod_q
+            else:
+                c0_data, c1_data = acc_c0, acc_c1
+            outputs.append(
+                Ciphertext(
+                    c0=RnsPolynomial(basis, data_primes, c0_data, is_ntt=True),
+                    c1=RnsPolynomial(basis, data_primes, c1_data, is_ntt=True),
+                    level=level,
+                    scale=scale * pt_scale,
+                    slot_count=in_cts[0].slot_count,
+                )
+            )
+        return outputs
 
     def bootstrap(self, a: Ciphertext) -> Ciphertext:
         if self._bootstrapper is not None:

@@ -11,8 +11,16 @@ changes go through :class:`repro.ntt.NttChainEngine`, rotations apply
 Galois maps as evaluation-form permutations, and hybrid key switching
 is factored into decompose / inner-product / mod-down stages so
 :meth:`CkksContext.rotate_hoisted` can share one digit decomposition
-across many rotation keys (paper Section 3.3 hoisting).  No evaluator
-operation allocates object-dtype (bigint) arrays.
+across many rotation keys (paper Section 3.3 hoisting).  Digit
+decomposition supports grouping (``CkksParameters.ks_alpha`` limbs per
+digit, dnum = ceil((l+1)/alpha), with a matching multi-prime special
+basis), which shrinks both the decompose NTT batch and the inner
+product width.  :meth:`CkksContext.rotate_hoisted_raw` additionally
+defers the mod-down, returning raw accumulators in the extended
+Q_l * P basis so fused consumers (the BSGS matvec) can sum many
+plaintext-weighted rotations and divide by P once per output — true
+double hoisting (Bossuat et al. [11]).  No evaluator operation
+allocates object-dtype (bigint) arrays.
 """
 
 from __future__ import annotations
@@ -109,16 +117,26 @@ class CkksContext:
             relin=relin,
         )
 
+    def _ks_num_digits(self, level: int) -> int:
+        """dnum at the given level: ceil((level+1) / ks_alpha) digits."""
+        return -(-(level + 1) // self.params.ks_alpha)
+
     def _make_switching_key(
         self, from_key: RnsPolynomial, to_key: RnsPolynomial
     ) -> SwitchingKey:
         """Hybrid switching key encrypting P*g_i*from_key per digit i.
 
-        The gadget term has residues (P mod q_j) * delta_ij on data limbs
-        and 0 on the special limbs, so no big-integer work is needed.
+        Digit i covers the ks_alpha data limbs [i*alpha, (i+1)*alpha).
+        The gadget g_i = P * Q-hat_i * [Q-hat_i^{-1}]_{Q_i} (with
+        Q_i = prod of digit i's primes, Q-hat_i = Q/Q_i) has residues
+        (P mod q_j) on digit i's own limbs and 0 everywhere else —
+        including the special limbs, since P | g_i — so no big-integer
+        work is needed regardless of the grouping.
         """
         chain = self._full_chain()
-        num_digits = self.params.max_level + 1
+        num_data = self.params.max_level + 1
+        alpha = self.params.ks_alpha
+        num_digits = self._ks_num_digits(self.params.max_level)
         special = self.basis.special_modulus()
         pairs = []
         for digit in range(num_digits):
@@ -126,7 +144,8 @@ class CkksContext:
             e_i = self._noise_poly(chain)
             b_i = (-(a_i * to_key)) + e_i
             gadget_factors = [
-                (special % q) if idx == digit else 0 for idx, q in enumerate(chain)
+                (special % q) if (idx < num_data and idx // alpha == digit) else 0
+                for idx, q in enumerate(chain)
             ]
             b_i = b_i + from_key.scalar_mul(gadget_factors)
             pairs.append((b_i, a_i))
@@ -444,34 +463,47 @@ class CkksContext:
         part: one inverse NTT of ``d`` plus one batched forward NTT of
         every digit raised to the Q_l * P chain).
 
-        Returns an int64 array of shape ``(digits, len(ks_chain), N)``
+        With ks_alpha = 1 each digit is one centered limb; with grouped
+        decomposition (ks_alpha > 1, dnum = ceil((level+1)/alpha)) each
+        digit is the exact int64 CRT lift of its alpha limbs
+        (:meth:`RnsBasis.decompose_digits`), shrinking both the digit
+        count and the forward-NTT batch.
+
+        Returns an int64 array of shape ``(dnum, len(ks_chain), N)``
         in evaluation form.  The decomposition commutes with Galois
         automorphisms, so hoisted rotations reuse it across many keys.
         """
         ks_chain = self._ks_chain(level)
-        num_digits = level + 1
+        num_limbs = level + 1
+        alpha = self.params.ks_alpha
         d_coeff = d.to_coeff()
-        src = d_coeff.data[:num_digits]
-        src_col = self.basis.moduli_column(d.primes[:num_digits])
-        centered = np.where(src > src_col // 2, src - src_col, src)
-        # Stride-0 broadcast across the ks chain: the engine's twist
-        # multiply materializes and reduces, so no explicit % pass here.
-        shape = (num_digits, len(ks_chain), centered.shape[-1])
-        lifted = np.broadcast_to(centered[:, None, :], shape)
+        if alpha == 1:
+            src = d_coeff.data[:num_limbs]
+            src_col = self.basis.moduli_column(d.primes[:num_limbs])
+            centered = np.where(src > src_col // 2, src - src_col, src)
+            # Stride-0 broadcast across the ks chain: the engine's twist
+            # multiply materializes and reduces, so no explicit % pass here.
+            shape = (num_limbs, len(ks_chain), centered.shape[-1])
+            lifted = np.broadcast_to(centered[:, None, :], shape)
+        else:
+            lifted = self.basis.decompose_digits(
+                d_coeff.data[:num_limbs], d.primes[:num_limbs], ks_chain, alpha
+            )
         return self.basis.forward_chain(lifted, ks_chain)
 
     def _key_tensors(self, key: SwitchingKey, level: int) -> np.ndarray:
         """Switching-key pairs stacked as one (2, digits, ks_limbs, N)
         tensor (b rows first, a rows second), cached per ks chain."""
         ks_chain = self._ks_chain(level)
-        cache_key = (ks_chain, level + 1)
+        num_digits = self._ks_num_digits(level)
+        cache_key = (ks_chain, num_digits)
         tensor = key.cache.get(cache_key)
         if tensor is None:
             idx = [key.pairs[0][0].primes.index(q) for q in ks_chain]
             tensor = np.stack(
                 [
-                    np.stack([b.data[idx] for b, _ in key.pairs[: level + 1]]),
-                    np.stack([a.data[idx] for _, a in key.pairs[: level + 1]]),
+                    np.stack([b.data[idx] for b, _ in key.pairs[:num_digits]]),
+                    np.stack([a.data[idx] for _, a in key.pairs[:num_digits]]),
                 ]
             )
             key.cache[cache_key] = tensor
@@ -536,27 +568,29 @@ class CkksContext:
         acc = self._ks_inner(digits, key, level)
         return self._ks_moddown(acc, level)
 
-    def rotate_hoisted(self, ct: Ciphertext, steps_list: Iterable[int]) -> Dict[int, Ciphertext]:
-        """Rotate one ciphertext by many step amounts, hoisting the
-        key-switch digit decomposition (Section 3.3 "double hoisting").
+    def rotate_hoisted_raw(
+        self, ct: Ciphertext, steps_list: Iterable[int]
+    ) -> Dict[int, tuple]:
+        """Hoisted rotations left in the extended Q_l * P basis.
 
-        The expensive part of a rotation — inverse-transforming c1 and
-        raising every digit to the Q_l * P basis — depends only on c1,
-        not on the rotation amount, because per-limb digit decomposition
-        commutes with Galois automorphisms.  It is computed once; each
-        step then costs one evaluation-form permutation of the digit
-        tensor, one inner product with its switching key, and the
-        mod-down.
+        Shares one key-switch digit decomposition of ``ct.c1`` across
+        all requested steps (they act on the same c1 — the digit tensor
+        commutes with Galois permutations), but defers the mod-down:
+        each step returns ``(rot0, acc)`` where ``rot0`` is the rotated
+        c0 over Q_l and ``acc`` is the raw ``(2, ks_limbs, N)``
+        evaluation-form key-switch accumulator still over Q_l * P.
 
-        Returns ``{step: rotated ciphertext}``; step 0 maps to ``ct``.
+        Callers that accumulate many plaintext-weighted rotations (the
+        fused BSGS matvec) add ``pt * acc`` terms lazily and pay one
+        :meth:`_ks_moddown` per output instead of one per rotation.
+        Applying :meth:`_ks_moddown` to each ``acc`` directly reproduces
+        :meth:`rotate_hoisted` bit-for-bit.  Step 0 is excluded (it
+        needs no key switch; callers handle it as the identity).
         """
         if ct.c2 is not None:
             raise ValueError("relinearize before rotating")
-        outputs: Dict[int, Ciphertext] = {}
-        unique_steps = sorted({s % self.slot_count for s in steps_list})
-        if 0 in unique_steps:
-            outputs[0] = ct
-        nonzero = [s for s in unique_steps if s != 0]
+        outputs: Dict[int, tuple] = {}
+        nonzero = sorted({s % self.slot_count for s in steps_list} - {0})
         if not nonzero:
             return outputs
         digits = self._ks_decompose(ct.c1, ct.level)
@@ -566,8 +600,30 @@ class CkksContext:
             key = self.galois_key(exponent)
             perm = galois_eval_permutation(n, exponent)
             acc = self._ks_inner(digits[..., perm], key, ct.level)
-            p0, p1 = self._ks_moddown(acc, ct.level)
             rot0 = ct.c0.automorphism(exponent)
+            outputs[step] = (rot0, acc)
+        return outputs
+
+    def rotate_hoisted(self, ct: Ciphertext, steps_list: Iterable[int]) -> Dict[int, Ciphertext]:
+        """Rotate one ciphertext by many step amounts, hoisting the
+        key-switch digit decomposition (Section 3.3 "double hoisting").
+
+        The expensive part of a rotation — inverse-transforming c1 and
+        raising every digit to the Q_l * P basis — depends only on c1,
+        not on the rotation amount, because digit decomposition commutes
+        with Galois automorphisms.  It is computed once (in
+        :meth:`rotate_hoisted_raw`); each step then costs one
+        evaluation-form permutation of the digit tensor, one inner
+        product with its switching key, and the mod-down.
+
+        Returns ``{step: rotated ciphertext}``; step 0 maps to ``ct``.
+        """
+        outputs: Dict[int, Ciphertext] = {}
+        unique_steps = {s % self.slot_count for s in steps_list}
+        if 0 in unique_steps:
+            outputs[0] = ct
+        for step, (rot0, acc) in self.rotate_hoisted_raw(ct, unique_steps).items():
+            p0, p1 = self._ks_moddown(acc, ct.level)
             outputs[step] = Ciphertext(
                 c0=rot0 + p0,
                 c1=p1,

@@ -2,11 +2,14 @@
 
 Hybrid key switching (paper Sections 2.5.2-2.5.3, following Han-Ki [33]
 and Bossuat et al. [11]): a switching key from s' to s consists of one
-RLWE pair per decomposition digit.  With per-limb digit decomposition
-the i-th pair encrypts P * g_i * s', where g_i is the CRT gadget
-(g_i = delta_ij mod q_j, 0 mod P) and P is the special prime.  Summing
-digit * key products and dividing by P (mod-down) keeps the switching
-noise a factor P smaller than the naive method.
+RLWE pair per decomposition digit.  Digit i groups ``ks_alpha`` limbs
+(dnum = ceil((L+1)/alpha) pairs total); its pair encrypts P * g_i * s',
+where the CRT gadget g_i = P * Q-hat_i * [Q-hat_i^{-1}]_{Q_i} has
+residues (P mod q_j) on digit i's own limbs and 0 elsewhere, and P is
+the special modulus (product of the special primes, which must outweigh
+every digit modulus).  Summing digit * key products and dividing by P
+(mod-down) keeps the switching noise a factor P smaller than the naive
+method; ks_alpha = 1 recovers the per-limb decomposition.
 """
 
 from __future__ import annotations

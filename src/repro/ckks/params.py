@@ -59,6 +59,11 @@ class CkksParameters:
         ring_type: standard or conjugate-invariant.
         sigma: RLWE noise standard deviation.
         num_special_primes: key-switching primes (dnum hybrid variant).
+        ks_alpha: data limbs grouped per key-switch digit (Han-Ki [33]).
+            dnum = ceil((L+1) / ks_alpha) digits; each digit is the CRT
+            lift of ks_alpha limbs, so the special basis P must outweigh
+            any digit modulus (enforced below as a bit-width check).
+            ks_alpha = 1 is the per-limb decomposition (dnum = L+1).
     """
 
     ring_degree: int
@@ -71,6 +76,7 @@ class CkksParameters:
     ring_type: RingType = RingType.STANDARD
     sigma: float = 3.2
     num_special_primes: int = 1
+    ks_alpha: int = 1
     secret_hamming_weight: int = 0  # 0 -> dense ternary secret
     primes: Tuple[int, ...] = field(default=(), compare=False)
 
@@ -83,6 +89,24 @@ class CkksParameters:
             raise ValueError("L_boot must be smaller than L")
         if self.prime_bits == 0:
             object.__setattr__(self, "prime_bits", self.scale_bits)
+        if self.ks_alpha < 1:
+            raise ValueError("ks_alpha must be at least 1")
+        if self.ks_alpha > 1:
+            # Key-switch noise stays bounded only while P = prod(special)
+            # exceeds every digit modulus: digit 0 holds the first prime
+            # plus ks_alpha - 1 rescale primes, inner digits hold
+            # ks_alpha rescale primes (wider when prime_bits dominates).
+            digit_bits = max(
+                self.first_prime_bits + (self.ks_alpha - 1) * self.prime_bits,
+                self.ks_alpha * self.prime_bits,
+            )
+            special_bits = self.num_special_primes * self.special_prime_bits
+            if digit_bits > special_bits:
+                raise ValueError(
+                    f"ks_alpha={self.ks_alpha} needs a wider special basis: "
+                    f"digit width ~{digit_bits} bits exceeds "
+                    f"special width ~{special_bits} bits"
+                )
         if not self.primes:
             object.__setattr__(self, "primes", self._build_prime_chain())
 
@@ -117,6 +141,11 @@ class CkksParameters:
     def effective_level(self) -> int:
         """L_eff = L - L_boot: the level a bootstrap refreshes up to."""
         return self.max_level - self.boot_levels
+
+    @property
+    def dnum(self) -> int:
+        """Key-switch decomposition number at the top level."""
+        return -(-(self.max_level + 1) // self.ks_alpha)
 
     @property
     def data_primes(self) -> Tuple[int, ...]:
@@ -157,6 +186,8 @@ def toy_parameters(
     scale_bits: int = 21,
     boot_levels: int = 3,
     ring_type: RingType = RingType.STANDARD,
+    num_special_primes: int = 1,
+    ks_alpha: int = 1,
 ) -> CkksParameters:
     """Small, fast, exact parameters for tests and the toy backend.
 
@@ -172,6 +203,8 @@ def toy_parameters(
         max_level=max_level,
         boot_levels=boot_levels,
         ring_type=ring_type,
+        num_special_primes=num_special_primes,
+        ks_alpha=ks_alpha,
     )
 
 

@@ -12,11 +12,18 @@ convolution, strided or not.
 between the plain diagonal form and Gazelle's hybrid method (replicated
 squat rows + rotate-and-sum fold) by modeled rotation count.
 
-Execution uses double-hoisted BSGS on any :class:`FheBackend`: baby
-rotations of each input ciphertext go through ``rotate_hoisted`` (a
-genuinely shared key-switch digit decomposition on exact backends, not
-just a shared ledger price); diagonals are pre-rotated at build time so
-giant steps apply to accumulated sums (Eq. 1 of the paper).
+Execution defaults to the *fused* double-hoisted path on backends that
+implement ``FheBackend.matvec_fused``: the giant pre-rotation of every
+diagonal is folded back into the plaintext, so each diagonal offset
+rotates the input ciphertext directly and all rotations of one input
+share a single key-switch digit decomposition; products accumulate in
+the extended Q_l * P basis and one deferred mod-down per output block
+replaces the per-baby-step mod-downs (true double hoisting, Bossuat et
+al.).  Backends without a fused path fall back to the per-rotation BSGS
+pipeline: baby rotations go through ``rotate_hoisted`` and diagonals
+are pre-rotated at build time so giant steps apply to accumulated sums
+(Eq. 1 of the paper); ``hoisting="double-unfused"`` forces this
+fallback for apples-to-apples benchmarking.
 """
 
 from __future__ import annotations
@@ -59,10 +66,15 @@ class PackedMatVec:
     fold_shifts: Tuple[int, ...] = ()
     bias_vecs: Optional[List[np.ndarray]] = None
     name: str = "linear"
-    # Weight plaintexts are static; encode once per (backend, level,
-    # scale) and reuse across executions (paper: "pre-processable").
+    # Weight/bias/zero plaintexts are static; encode once per (backend,
+    # level, scale) and reuse across executions ("pre-processable").
     _pt_cache: WeakKeyDictionary = field(
         default_factory=WeakKeyDictionary, repr=False, compare=False
+    )
+    # Diagonals with the giant pre-rotation folded back out, keyed
+    # (out_block, in_block, offset); built lazily for the fused path.
+    _fused_terms: Optional[Dict] = field(
+        default=None, repr=False, compare=False
     )
 
     # -- op-count queries (paper Tables 2-4) ---------------------------------
@@ -107,7 +119,34 @@ class PackedMatVec:
     def cost(self, level: int, cost_model, hoisting: str = "double") -> float:
         """Modeled latency at the given level (drives placement)."""
         diag, baby, giant = self.counts()
-        return cost_model.matvec_cost(level, diag, baby, giant, hoisting)
+        return cost_model.matvec_cost(
+            level, diag, baby, giant, hoisting,
+            num_in=self.num_in, num_out=self.num_out,
+        )
+
+    def _bsgs_rotation_count(self) -> int:
+        """Baby + giant rotations of the BSGS plan (folds excluded —
+        they execute as real rotations and charge themselves)."""
+        return self.rotation_count() - len(self.fold_shifts) * self.num_out
+
+    def _fused_term_vectors(self) -> Dict:
+        """Original diagonals for the fused path, keyed (bo, bi, offset).
+
+        ``diags`` stores each diagonal pre-rotated down by its giant
+        step (Eq. 1) so that ``rot_g(pt * rot_b(ct))`` aligns.  The
+        fused path uses the identity ``rot_g(pt * rot_b(ct)) ==
+        rot_g(pt) * rot_{g+b}(ct)``: it rotates the *input* by the
+        composite offset and needs the diagonal with the pre-rotation
+        undone (``rot_g`` of the stored vector is the original).
+        """
+        if self._fused_terms is None:
+            terms: Dict = {}
+            for (bo, bi), dmap in self.diags.items():
+                for offset, vec in dmap.items():
+                    giant, _ = self.plan.split(offset)
+                    terms[(bo, bi, offset)] = np.roll(vec, -giant) if giant else vec
+            self._fused_terms = terms
+        return self._fused_terms
 
     # -- execution -------------------------------------------------------------
     def execute(self, backend, in_cts: List, pt_scale: Fraction, hoisting: str = "double"):
@@ -119,11 +158,70 @@ class PackedMatVec:
             pt_scale: scale for the weight plaintexts; the compiler sets
                 q_level * Delta / input_scale so the rescale after this
                 layer lands exactly on Delta (errorless scale policy).
+            hoisting: ``"double"`` (fused deferred-mod-down path when the
+                backend supports it, else hoisted BSGS), ``"double-unfused"``
+                (force the per-rotation BSGS pipeline), ``"single"``, or
+                ``"none"``.
 
         Returns:
             list of output ciphertexts at level-1, scale input*pt/q.
         """
         level = backend.level_of(in_cts[0])
+        per_backend = self._pt_cache.get(backend)
+        if per_backend is None:
+            per_backend = {}
+            self._pt_cache[backend] = per_backend
+        totals = None
+        if hoisting == "double" and getattr(backend, "supports_fused_matvec", False):
+            terms = self._fused_term_vectors()
+            pt_cache = per_backend.setdefault(("fused", level, pt_scale), {})
+            totals = backend.matvec_fused(
+                in_cts,
+                terms,
+                self.num_out,
+                pt_scale,
+                pt_cache=pt_cache,
+                charged_rotations=self._bsgs_rotation_count(),
+            )
+        if totals is None:
+            mode = "double" if hoisting == "double-unfused" else hoisting
+            totals = self._accumulate_bsgs(
+                backend, in_cts, level, pt_scale, per_backend, mode
+            )
+        outputs = []
+        for bo, total in enumerate(totals):
+            if total is None:
+                zero_pt = per_backend.get(("zero", level, pt_scale))
+                if zero_pt is None:
+                    zero_pt = backend.encode(np.zeros(self.slots), level, pt_scale)
+                    per_backend[("zero", level, pt_scale)] = zero_pt
+                total = backend.mul_plain(in_cts[0], zero_pt)
+            total = backend.rescale(total)
+            for shift in self.fold_shifts:
+                total = backend.add(total, backend.rotate(total, shift))
+            if self.bias_vecs is not None:
+                out_level = backend.level_of(total)
+                out_scale = backend.scale_of(total)
+                bias_key = ("bias", bo, out_level, out_scale)
+                bias_pt = per_backend.get(bias_key)
+                if bias_pt is None:
+                    bias_pt = backend.encode(self.bias_vecs[bo], out_level, out_scale)
+                    per_backend[bias_key] = bias_pt
+                total = backend.add_plain(total, bias_pt)
+            outputs.append(total)
+        return outputs
+
+    def _accumulate_bsgs(
+        self, backend, in_cts: List, level: int, pt_scale: Fraction,
+        per_backend: Dict, hoisting: str,
+    ) -> List:
+        """Per-rotation BSGS accumulation (the pre-fused pipeline).
+
+        Baby-rotates every input block (hoisted for ``"double"``),
+        multiplies the pre-rotated diagonals in, applies giant rotations
+        to accumulated sums, and returns one pre-rescale total per
+        output block (``None`` where a block has no diagonals).
+        """
         rotated: Dict[int, Dict[int, object]] = {}
         for bi in range(self.num_in):
             babies = self._babies_for_in_block(bi)
@@ -131,13 +229,8 @@ class PackedMatVec:
                 rotated[bi] = backend.rotate_hoisted(in_cts[bi], babies)
             else:
                 rotated[bi] = backend.rotate_group(in_cts[bi], babies, hoisting=hoisting)
-
-        per_backend = self._pt_cache.get(backend)
-        if per_backend is None:
-            per_backend = {}
-            self._pt_cache[backend] = per_backend
-        pt_cache = per_backend.setdefault((level, pt_scale), {})
-        outputs = []
+        pt_cache = per_backend.setdefault(("diag", level, pt_scale), {})
+        totals = []
         for bo in range(self.num_out):
             acc_by_giant: Dict[int, object] = {}
             for bi in range(self.num_in):
@@ -156,22 +249,14 @@ class PackedMatVec:
                     else:
                         acc_by_giant[giant] = term
             if not acc_by_giant:
-                zero_pt = backend.encode(np.zeros(self.slots), level, pt_scale)
-                acc_by_giant[0] = backend.mul_plain(in_cts[0], zero_pt)
+                totals.append(None)
+                continue
             total = None
             for giant, part in sorted(acc_by_giant.items()):
                 part = backend.rotate(part, giant)
                 total = part if total is None else backend.add(total, part)
-            total = backend.rescale(total)
-            for shift in self.fold_shifts:
-                total = backend.add(total, backend.rotate(total, shift))
-            if self.bias_vecs is not None:
-                bias_pt = backend.encode(
-                    self.bias_vecs[bo], backend.level_of(total), backend.scale_of(total)
-                )
-                total = backend.add_plain(total, bias_pt)
-            outputs.append(total)
-        return outputs
+            totals.append(total)
+        return totals
 
     def execute_cleartext(self, in_vecs: List[np.ndarray]) -> List[np.ndarray]:
         """Reference execution with plain numpy (validates packing)."""
@@ -200,7 +285,7 @@ class PackedMatVec:
 class _DiagAccumulator:
     """Accumulates matrix entries into per-block diagonal vectors."""
 
-    def __init__(self, slots: int, pre_rotate: bool = True):
+    def __init__(self, slots: int):
         self.slots = slots
         self.vecs: Dict[Tuple[int, int, int], np.ndarray] = {}
 
@@ -215,19 +300,31 @@ class _DiagAccumulator:
         bi = in_slot // n
         out_local = out_slot % n
         diag = (in_slot - out_slot) % n
-        keys = (bo * (bi.max() + 1) + bi) * n + diag
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        for idx, key in enumerate(unique_keys):
-            mask = inverse == idx
-            k_diag = int(key % n)
-            rest = int(key // n)
-            k_bi = rest % (int(bi.max()) + 1)
-            k_bo = rest // (int(bi.max()) + 1)
-            vec = self.vecs.get((k_bo, k_bi, k_diag))
+        # Lexsort entries by (bo, bi, diag) so each diagonal is one
+        # contiguous run, then scatter-add every run in a single grouped
+        # np.add.at into a (runs, n) buffer (no per-key Python masking).
+        order = np.lexsort((diag, bi, bo))
+        bo = bo[order]
+        bi = bi[order]
+        diag = diag[order]
+        out_local = out_local[order]
+        value = value[order]
+        new_run = np.empty(order.size, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (
+            (bo[1:] != bo[:-1]) | (bi[1:] != bi[:-1]) | (diag[1:] != diag[:-1])
+        )
+        run_id = np.cumsum(new_run) - 1
+        starts = np.flatnonzero(new_run)
+        buf = np.zeros((starts.size, n))
+        np.add.at(buf, (run_id, out_local), value)
+        for row, s in enumerate(starts):
+            key = (int(bo[s]), int(bi[s]), int(diag[s]))
+            vec = self.vecs.get(key)
             if vec is None:
-                vec = np.zeros(n)
-                self.vecs[(k_bo, k_bi, k_diag)] = vec
-            np.add.at(vec, out_local[mask], value[mask])
+                self.vecs[key] = buf[row]
+            else:
+                vec += buf[row]
 
     def finalize(self, num_in: int, num_out: int, out_layout, bias_vecs,
                  fold_shifts=(), name="linear") -> PackedMatVec:

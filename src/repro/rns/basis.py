@@ -222,6 +222,45 @@ class RnsBasis:
                 out[j] = limbs[i]
         return out
 
+    def decompose_digits(
+        self,
+        rows: np.ndarray,
+        src_primes: Sequence[int],
+        dst_primes: Sequence[int],
+        alpha: int,
+    ) -> np.ndarray:
+        """Group coefficient-form limbs into key-switch digits over ``dst``.
+
+        ``rows`` holds the residues of one polynomial over ``src_primes``
+        (shape ``(len(src_primes), N)``).  Limbs are grouped ``alpha`` at
+        a time; each group's centered CRT value is re-expressed over
+        ``dst_primes`` (the Q_l * P key-switch chain).  Single-limb
+        groups use the centered broadcast (rows may be negative — the
+        NTT engine's twist multiply reduces them); wider groups go
+        through the int64 :meth:`convert_residues` lift, which is exact
+        except for values within ~2^-48 of the +-Q_group/2 boundary —
+        the same guarantee the hot path already accepts in
+        :meth:`RnsPolynomial.extend_primes` (use :meth:`crt_reconstruct`
+        for boundary-exact validation).
+
+        Returns an int64 ``(ceil(len(src)/alpha), len(dst), N)`` tensor
+        in coefficient form, ready for one batched forward NTT.
+        """
+        src = tuple(src_primes)
+        dst = tuple(dst_primes)
+        num_limbs = len(src)
+        shape = (len(dst), rows.shape[-1])
+        digits = []
+        for lo in range(0, num_limbs, alpha):
+            hi = min(lo + alpha, num_limbs)
+            if hi - lo == 1:
+                q = src[lo]
+                centered = np.where(rows[lo] > q // 2, rows[lo] - q, rows[lo])
+                digits.append(np.broadcast_to(centered, shape))
+            else:
+                digits.append(self.convert_residues(rows[lo:hi], src[lo:hi], dst))
+        return np.stack(digits)
+
     # -- CRT -----------------------------------------------------------
     def crt_reconstruct(self, limbs: np.ndarray, primes: Sequence[int]) -> np.ndarray:
         """Exact CRT: residue matrix -> centered big integers.
