@@ -1,0 +1,204 @@
+"""Bootstrap transform benchmark: fused vs per-rotation CoeffToSlot/SlotToCoeff.
+
+The bootstrap linear transforms are the rotation-heaviest matvecs in the
+pipeline (dense DFT-shaped matrices on (ct, conj(ct)) pairs).  This
+benchmark drives ``CkksBootstrapper._matvec_sum`` three ways on the
+exact toy backend:
+
+- **fused**: the production path — one key-switch digit decomposition
+  per input ciphertext, giant steps folded into cached pre-encoded
+  diagonal plaintexts, Q_l * P-lazy accumulation, one deferred mod-down
+  per output (``FheBackend.matvec_fused``);
+- **hoisted BSGS**: the per-rotation fallback pipeline (baby rotations
+  hoisted per input, per-diagonal plaintext multiplies, giant rotations
+  on accumulated sums);
+- **per-rotation reference**: an independent slow implementation of the
+  *same* deferred-mod-down math that pays a fresh digit decomposition
+  for every rotation and reduces after every product.  Because exact
+  modular arithmetic is order-independent, the fused output must match
+  it **bit for bit** — asserted before any timing is reported.
+
+Medians land in ``BENCH_ckks_hotpath.json`` (section
+``bootstrap_transforms``) and the CI bench-gate enforces the speedup
+floors.  ``HOTPATH_QUICK=1`` shrinks repetitions for CI;
+``HOTPATH_ALPHA=k`` benchmarks grouped digit decomposition.
+"""
+
+import os
+import time
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from bench_json_util import merge_json
+
+from repro.backend import ToyBackend
+from repro.ckks.bootstrap import CkksBootstrapper
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.params import bootstrap_parameters
+from repro.rns.poly import RnsPolynomial
+
+QUICK = bool(int(os.environ.get("HOTPATH_QUICK", "0")))
+ALPHA = int(os.environ.get("HOTPATH_ALPHA", "1"))
+REPS = 3 if QUICK else 7
+
+PARAMS = bootstrap_parameters(ks_alpha=ALPHA)
+CONFIG_KEY = (
+    f"N{PARAMS.ring_degree}_L{PARAMS.max_level}_alpha{ALPHA}_"
+    f"{'quick' if QUICK else 'full'}"
+)
+
+
+def _time_stats(fn, reps=REPS):
+    """(min, median) wall clock in ms; min drives the floors."""
+    fn()  # warm caches
+    times = []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times) * 1e3, float(np.median(times)) * 1e3
+
+
+def per_rotation_matvec_sum(bs, pairs, pt_scale, table):
+    """Per-rotation reference of the deferred-mod-down transform.
+
+    Every nonzero diagonal offset pays its own digit decomposition
+    (``rotate_hoisted_raw`` on a single step — nothing is hoisted) and
+    every product is reduced immediately; one mod-down per output and a
+    final rescale, exactly the math of the fused path so the results
+    must agree bitwise.
+    """
+    backend = bs.backend
+    ctx = backend.context
+    plan = bs._transform_plan(table, pairs)
+    in_cts = [ct for ct, _ in pairs]
+    level = in_cts[0].level
+    ks_chain = ctx._ks_chain(level)
+    mod_ks = ctx.basis.moduli_column(ks_chain)
+    data_primes = ctx._data_chain(level)
+    mod_q = ctx.basis.moduli_column(data_primes)
+    acc_ext = np.zeros((2, len(ks_chain), ctx.basis.ring_degree), dtype=np.int64)
+    acc_c0 = np.zeros((len(data_primes), ctx.basis.ring_degree), dtype=np.int64)
+    acc_c1 = None
+    rotated = False
+    for (_, i, k) in sorted(plan["terms"]):
+        pt = ctx.encode(plan["terms"][(0, i, k)], level=level, scale=Fraction(pt_scale))
+        if k == 0:
+            acc_c0 = (acc_c0 + pt.poly.data * in_cts[i].c0.data) % mod_q
+            if acc_c1 is None:
+                acc_c1 = np.zeros_like(acc_c0)
+            acc_c1 = (acc_c1 + pt.poly.data * in_cts[i].c1.data) % mod_q
+            continue
+        rotated = True
+        rot0, acc = ctx.rotate_hoisted_raw(in_cts[i], [k])[k]
+        pt_ext = pt.poly.extend_primes(ks_chain).data
+        acc_ext = (acc_ext + pt_ext * acc) % mod_ks
+        acc_c0 = (acc_c0 + pt.poly.data * rot0.data) % mod_q
+    assert rotated
+    p0, p1 = ctx._ks_moddown(acc_ext, level)
+    c0 = (acc_c0 + p0.data) % mod_q
+    c1 = p1.data if acc_c1 is None else (acc_c1 + p1.data) % mod_q
+    out = Ciphertext(
+        c0=RnsPolynomial(ctx.basis, data_primes, c0, is_ntt=True),
+        c1=RnsPolynomial(ctx.basis, data_primes, c1, is_ntt=True),
+        level=level,
+        scale=in_cts[0].scale * Fraction(pt_scale),
+        slot_count=in_cts[0].slot_count,
+    )
+    return ctx.rescale(out)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    backend = ToyBackend(PARAMS, seed=7)
+    fused = CkksBootstrapper(backend, fused=True)
+    unfused = CkksBootstrapper(backend, fused=False)
+    rng = np.random.default_rng(3)
+    message = rng.uniform(-0.9, 0.9, PARAMS.slot_count)
+    ct = backend.encode_encrypt(message, level=0)
+    raised = backend.context.mod_raise(ct, Fraction(fused.q0) * fused.window)
+    raised = fused._prescale(raised)
+    conj = backend.conjugate(raised)
+    level = backend.level_of(raised)
+    rescale_prime = PARAMS.primes[level]
+    cts_scale = (
+        Fraction(PARAMS.primes[level - 1]) * rescale_prime / raised.scale
+    )
+    pairs = {
+        "cts_lo": [(raised, fused.cts_lo[0]), (conj, fused.cts_lo[1])],
+        "cts_hi": [(raised, fused.cts_hi[0]), (conj, fused.cts_hi[1])],
+    }
+    lo = fused._matvec_sum(pairs["cts_lo"], cts_scale, "cts_lo")
+    hi = fused._matvec_sum(pairs["cts_hi"], cts_scale, "cts_hi")
+    stc_level = backend.level_of(lo)
+    stc_scale = (
+        Fraction(PARAMS.scale) * PARAMS.primes[stc_level] / backend.scale_of(lo)
+    )
+    pairs["stc"] = [(lo, fused.stc_lo), (hi, fused.stc_hi)]
+    scales = {"cts_lo": cts_scale, "cts_hi": cts_scale, "stc": stc_scale}
+    return backend, fused, unfused, pairs, scales
+
+
+def test_bootstrap_transforms_fused(setup, record_table):
+    backend, fused, unfused, pairs, scales = setup
+    tables = ("cts_lo", "cts_hi", "stc")
+
+    # Bit-exactness gate: the fused transform must reproduce the
+    # per-rotation reference exactly before any speedup is reported.
+    for table in tables:
+        got = fused._matvec_sum(pairs[table], scales[table], table)
+        ref = per_rotation_matvec_sum(fused, pairs[table], scales[table], table)
+        assert np.array_equal(got.c0.data, ref.c0.data), table
+        assert np.array_equal(got.c1.data, ref.c1.data), table
+        # The hoisted-BSGS pipeline reorders the mod-down roundings, so
+        # it agrees to noise precision (not bitwise) with the fused path.
+        bsgs = unfused._matvec_sum(pairs[table], scales[table], table)
+        assert bsgs.scale == got.scale and bsgs.level == got.level
+        diff = np.abs(backend.decrypt(bsgs) - backend.decrypt(got))
+        mag = max(1.0, float(np.abs(backend.decrypt(got)).max()))
+        assert diff.max() < 5e-2 * mag, table
+
+    def run(fn):
+        return [fn(pairs[t], scales[t], t) for t in tables]
+
+    fused_ms, fused_med = _time_stats(lambda: run(fused._matvec_sum))
+    bsgs_ms, bsgs_med = _time_stats(lambda: run(unfused._matvec_sum))
+    ref_ms, ref_med = _time_stats(
+        lambda: run(lambda p, s, t: per_rotation_matvec_sum(fused, p, s, t))
+    )
+
+    plan_rots = sum(fused._transform_plan(t, pairs[t])["rot_count"] for t in tables)
+    record_table(
+        "ckks_bootstrap_transforms",
+        f"Bootstrap CoeffToSlot + SlotToCoeff transforms (N={PARAMS.ring_degree}, "
+        f"L={PARAMS.max_level}, alpha={ALPHA}, {plan_rots} BSGS rotations, "
+        f"{'quick' if QUICK else 'full'} mode)",
+        ("execution", "wall-clock (ms)", "speedup"),
+        [
+            ("per-rotation reference", f"{ref_ms:.1f}", "1.00x"),
+            ("hoisted BSGS pipeline", f"{bsgs_ms:.1f}", f"{ref_ms / bsgs_ms:.2f}x"),
+            ("fused deferred mod-down", f"{fused_ms:.1f}", f"{ref_ms / fused_ms:.2f}x"),
+        ],
+    )
+    merge_json(
+        CONFIG_KEY,
+        "bootstrap_transforms",
+        {
+            "bsgs_rotations": plan_rots,
+            "fused_median_ms": round(fused_med, 3),
+            "bsgs_median_ms": round(bsgs_med, 3),
+            "per_rotation_median_ms": round(ref_med, 3),
+            "speedup_fused_vs_per_rotation": round(ref_med / fused_med, 3),
+            "speedup_fused_vs_bsgs": round(bsgs_med / fused_med, 3),
+        },
+        ring_degree=PARAMS.ring_degree,
+        max_level=PARAMS.max_level,
+        ks_alpha=ALPHA,
+        quick=QUICK,
+    )
+    # Acceptance floors: >= 1.5x over the per-rotation reference (the
+    # margin is large — one decomposition per input vs one per rotation)
+    # and measurably faster than the already-hoisted BSGS pipeline.
+    assert fused_ms < ref_ms / 1.5
+    assert fused_ms < bsgs_ms / 1.05

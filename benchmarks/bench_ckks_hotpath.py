@@ -19,13 +19,13 @@ and ``HOTPATH_ALPHA=k`` to benchmark grouped digit decomposition
 (dnum = ceil((L+1)/k) with k special primes).
 """
 
-import json
 import os
 import time
 from fractions import Fraction
 
 import numpy as np
 import pytest
+from bench_json_util import merge_json as _merge_json
 
 from repro.backend import ToyBackend
 from repro.ckks.params import toy_parameters
@@ -39,35 +39,21 @@ RING_DEGREE = 512 if QUICK else 2048
 MAX_LEVEL = 4 if QUICK else 8
 REPS = 3 if QUICK else 10
 
-JSON_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_ckks_hotpath.json",
-)
 CONFIG_KEY = (
     f"N{RING_DEGREE}_L{MAX_LEVEL}_alpha{ALPHA}_{'quick' if QUICK else 'full'}"
 )
 
 
 def merge_json(section: str, payload: dict) -> None:
-    """Merge one benchmark section into the repo-root JSON, keyed by
-    configuration, so successive runs (alpha=1, alpha>1, quick/full)
-    accumulate instead of clobbering each other."""
-    data = {}
-    if os.path.exists(JSON_PATH):
-        try:
-            with open(JSON_PATH) as f:
-                data = json.load(f)
-        except (OSError, json.JSONDecodeError):
-            data = {}
-    config = data.setdefault("configs", {}).setdefault(CONFIG_KEY, {})
-    config["ring_degree"] = RING_DEGREE
-    config["max_level"] = MAX_LEVEL
-    config["ks_alpha"] = ALPHA
-    config["quick"] = QUICK
-    config[section] = payload
-    with open(JSON_PATH, "w") as f:
-        json.dump(data, f, indent=2, sort_keys=True)
-        f.write("\n")
+    _merge_json(
+        CONFIG_KEY,
+        section,
+        payload,
+        ring_degree=RING_DEGREE,
+        max_level=MAX_LEVEL,
+        ks_alpha=ALPHA,
+        quick=QUICK,
+    )
 
 
 # ---------------------------------------------------------------------------

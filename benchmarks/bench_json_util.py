@@ -1,0 +1,50 @@
+"""Shared helpers for the machine-readable benchmark JSON.
+
+Every perf benchmark merges its medians into ``BENCH_ckks_hotpath.json``
+at the repo root, keyed by configuration, so the perf trajectory is
+tracked across PRs and the CI bench-gate (``check_bench_json.py``) can
+fail loudly when a recorded speedup drops below its floor.
+"""
+
+import json
+import os
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_ckks_hotpath.json",
+)
+
+
+def merge_json(
+    config_key: str,
+    section: str,
+    payload: dict,
+    *,
+    ring_degree: int,
+    max_level: int,
+    ks_alpha: int,
+    quick: bool,
+    json_path: str = JSON_PATH,
+) -> None:
+    """Merge one benchmark section into the repo-root JSON.
+
+    Keyed by configuration so successive runs (alpha=1, alpha>1,
+    quick/full, different benchmarks) accumulate instead of clobbering
+    each other.
+    """
+    data = {}
+    if os.path.exists(json_path):
+        try:
+            with open(json_path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    config = data.setdefault("configs", {}).setdefault(config_key, {})
+    config["ring_degree"] = ring_degree
+    config["max_level"] = max_level
+    config["ks_alpha"] = ks_alpha
+    config["quick"] = quick
+    config[section] = payload
+    with open(json_path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""CI bench-gate: validate BENCH_ckks_hotpath.json and enforce floors.
+
+Runs as a dedicated workflow step (after the quick-mode benchmarks have
+merged their medians) so a perf regression fails the build *loudly* on
+its own line instead of deep inside a pytest trace:
+
+    python benchmarks/check_bench_json.py [path/to/BENCH_ckks_hotpath.json]
+
+Checks two things:
+
+1. **Schema** — every config carries its parameter fingerprint
+   (ring_degree / max_level / ks_alpha / quick) and every recorded
+   section has the expected numeric fields (medians > 0, speedups
+   finite), so a half-written or hand-mangled JSON cannot pass.
+2. **Floors** — every recorded speedup median must clear its floor.
+   Floors are quick/full aware (quick CI rings are smaller and
+   noisier).  A section missing from a config is fine — only numbers
+   that were recorded are gated — but at least one config must carry
+   each gated section so the gate cannot be green by running nothing.
+
+Exit code 0 = gate passed; 1 = schema violation or a floor breach.
+"""
+
+import json
+import math
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_ckks_hotpath.json",
+)
+
+META_FIELDS = {
+    "ring_degree": int,
+    "max_level": int,
+    "ks_alpha": int,
+    "quick": bool,
+}
+
+# section -> metric -> (quick_floor, full_floor).  Keep in sync with the
+# asserts inside the benchmarks themselves; the gate re-checks the
+# *recorded medians* so a regression can't hide behind a stale JSON.
+FLOORS = {
+    "ops": {
+        "rotate_x8_hoisted.speedup": (1.5, 4.0),
+        "keyswitch.speedup": (1.2, 1.2),
+        "rotate.speedup": (1.2, 1.2),
+    },
+    "bsgs_matvec": {
+        "speedup_fused_vs_unfused": (1.2, 1.5),
+        "speedup_fused_vs_none": (1.5, 2.0),
+    },
+    "bootstrap_transforms": {
+        "speedup_fused_vs_per_rotation": (1.5, 1.5),
+        "speedup_fused_vs_bsgs": (1.05, 1.05),
+    },
+}
+
+# Numeric fields every section entry must carry (besides the speedups).
+SECTION_MEDIANS = {
+    "ops": ("median_ms", "baseline_median_ms"),
+    "bsgs_matvec": ("fused_median_ms", "unfused_median_ms", "none_median_ms"),
+    "bootstrap_transforms": (
+        "fused_median_ms",
+        "bsgs_median_ms",
+        "per_rotation_median_ms",
+    ),
+}
+
+
+def _lookup(section_data, dotted):
+    node = section_data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _check_medians(errors, config_key, section, data):
+    entries = data.values() if section == "ops" else [data]
+    labels = list(data) if section == "ops" else [section]
+    for label, entry in zip(labels, entries):
+        if not isinstance(entry, dict):
+            errors.append(f"{config_key}/{section}/{label}: not an object")
+            continue
+        for field in SECTION_MEDIANS[section]:
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) or not math.isfinite(value) or value <= 0:
+                errors.append(
+                    f"{config_key}/{section}/{label}.{field}: "
+                    f"expected a positive number, got {value!r}"
+                )
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    configs = data.get("configs")
+    if not isinstance(configs, dict) or not configs:
+        return [f"{path}: no 'configs' object"]
+
+    seen_sections = set()
+    for config_key, config in sorted(configs.items()):
+        if not isinstance(config, dict):
+            errors.append(f"{config_key}: not an object")
+            continue
+        for field, kind in META_FIELDS.items():
+            if not isinstance(config.get(field), kind):
+                errors.append(
+                    f"{config_key}.{field}: expected {kind.__name__}, "
+                    f"got {config.get(field)!r}"
+                )
+        quick = bool(config.get("quick"))
+        for section, metrics in FLOORS.items():
+            section_data = config.get(section)
+            if section_data is None:
+                continue
+            seen_sections.add(section)
+            _check_medians(errors, config_key, section, section_data)
+            for dotted, (quick_floor, full_floor) in metrics.items():
+                floor = quick_floor if quick else full_floor
+                value = _lookup(section_data, dotted)
+                if value is None:
+                    errors.append(
+                        f"{config_key}/{section}.{dotted}: missing (floor {floor}x)"
+                    )
+                elif not isinstance(value, (int, float)) or not math.isfinite(value):
+                    errors.append(
+                        f"{config_key}/{section}.{dotted}: not a number: {value!r}"
+                    )
+                elif value < floor:
+                    errors.append(
+                        f"PERF REGRESSION {config_key}/{section}.{dotted}: "
+                        f"{value}x is below the {floor}x floor"
+                    )
+    for section in FLOORS:
+        if section not in seen_sections:
+            errors.append(
+                f"no config records section '{section}' — the benchmark that "
+                "produces it did not run"
+            )
+    return errors
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else DEFAULT_PATH
+    errors = check(path)
+    if errors:
+        print(f"bench-gate FAILED for {path}:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    with open(path) as f:
+        num_configs = len(json.load(f)["configs"])
+    print(f"bench-gate OK: {num_configs} configs in {path} clear all floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

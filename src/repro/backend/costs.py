@@ -139,6 +139,59 @@ class CostModel:
         ) * self._unit
 
     # -- aggregated helpers for the packing planner -----------------------
+    def fused_fold_cheaper(self, level: int, num_folds: int) -> bool:
+        """Whether the fused Gazelle fold beats the sequential one.
+
+        The sequential rotate-and-sum fold pays ``num_folds`` full key
+        switches on successively accumulated ciphertexts (they cannot be
+        hoisted: each rotation acts on a *different* ciphertext).  The
+        fused fold expands the composition into ``2^num_folds - 1``
+        rotations of the *original* accumulator — all sharing one digit
+        decomposition and one deferred mod-down — trading per-rotation
+        decompose/mod-down work for extra inner products.  For the
+        shallow folds real layers produce the expansion wins; very deep
+        folds (tiny outputs in huge ciphertexts) can tip the other way,
+        so both the executor and the price model pick the cheaper form.
+        """
+        expanded = (1 << num_folds) - 1
+        fused = (
+            self.ks_decompose(level)
+            + expanded * self.ks_inner(level)
+            + self.ks_moddown(level)
+            + expanded * self.hadd(level)
+        )
+        sequential = num_folds * (self.hrot(level) + self.hadd(level))
+        return fused <= sequential
+
+    def fold_cost(
+        self, level: int, num_folds: int, num_out: int = 1, hoisting: str = "fused"
+    ) -> float:
+        """Price of the post-matvec Gazelle rotate-and-sum folds.
+
+        Non-fused modes execute them as plain rotations + additions;
+        the fused mode uses whichever of the sequential and expanded
+        (hoisted, deferred-mod-down) forms is cheaper, mirroring
+        :meth:`repro.core.packing.matvec.PackedMatVec` execution.
+
+        Priced at the matvec's *input* level (like every other term of
+        :meth:`matvec_cost`); the executor makes its sequential-vs-fused
+        choice at the same level so the model and the executed form
+        agree, even though the fold itself runs one level lower (after
+        the rescale).
+        """
+        if num_folds <= 0:
+            return 0.0
+        sequential = num_folds * (self.hrot(level) + self.hadd(level))
+        if hoisting == "fused" and self.fused_fold_cheaper(level, num_folds):
+            expanded = (1 << num_folds) - 1
+            return num_out * (
+                self.ks_decompose(level)
+                + expanded * self.ks_inner(level)
+                + self.ks_moddown(level)
+                + expanded * self.hadd(level)
+            )
+        return num_out * sequential
+
     def matvec_fused_rotations(
         self, level: int, num_offsets: int, num_in: int = 1, num_out: int = 1
     ) -> float:
@@ -163,9 +216,11 @@ class CostModel:
         num_diagonals: int,
         num_baby: int,
         num_giant: int,
-        hoisting: str = "double",
+        hoisting: str = "fused",
         num_in: int = 1,
         num_out: int = 1,
+        num_folds: int = 0,
+        num_offsets: int | None = None,
     ) -> float:
         """Modeled cost of one BSGS matrix-vector product.
 
@@ -173,27 +228,46 @@ class CostModel:
             level: ciphertext level the product executes at.
             num_diagonals: plaintext diagonals multiplied (PMult count).
             num_baby: distinct baby-step rotations.
-            num_giant: distinct giant-step rotations.
+            num_giant: distinct giant-step rotations (non-fused modes
+                include the Gazelle fold rotations here, matching
+                ``PackedMatVec.counts``).
             hoisting: 'none' | 'single' | 'double' (Section 3.3), or
-                'fused' for the fully-hoisted deferred-mod-down path
-                (one decomposition, one inner product per diagonal
-                offset, one mod-down; plaintext multiplies run over the
-                extended Q_l * P basis).  The 'fused' price is slightly
-                conservative: it treats every diagonal as a rotated
-                offset, while execution skips the key switch (and the
-                Q_l * P width) for offset-0 diagonals.
+                'fused' (the default, matching execution) for the
+                fully-hoisted deferred-mod-down path (one decomposition,
+                one inner product per diagonal offset, one mod-down;
+                plaintext multiplies run over the extended Q_l * P
+                basis).  The 'fused' price is slightly conservative: it
+                treats every diagonal as a rotated offset, while
+                execution skips the key switch (and the Q_l * P width)
+                for offset-0 diagonals.
             num_in: input ciphertext blocks ('fused' only: one
                 decomposition each).
             num_out: output ciphertext blocks ('fused' only: one
                 deferred mod-down each).
+            num_folds: Gazelle rotate-and-sum folds per output block
+                ('fused' only — other modes already count the folds in
+                ``num_giant``); priced by :meth:`fold_cost`.
+            num_offsets: distinct nonzero (input block, diagonal offset)
+                pairs — the key-switch inner products the fused path
+                really performs.  Defaults to ``num_diagonals`` (the
+                conservative upper bound: every diagonal rotated).  Zero
+                means no rotation at all (e.g. a depthwise 1x1 conv):
+                the fused execution then skips decompose and mod-down
+                entirely and so does the price.
         """
         if hoisting == "fused":
             pm = num_diagonals * self.pmult_fused(level)
             adds = max(0, num_diagonals - 1) * self.hadd(level)
-            rots = self.matvec_fused_rotations(
-                level, num_diagonals, num_in=num_in, num_out=num_out
-            )
-            return pm + adds + rots + self.rescale(level)
+            if num_offsets is None:
+                num_offsets = num_diagonals
+            if num_offsets == 0:
+                rots = 0.0
+            else:
+                rots = self.matvec_fused_rotations(
+                    level, num_offsets, num_in=num_in, num_out=num_out
+                )
+            folds = self.fold_cost(level, num_folds, num_out=num_out)
+            return pm + adds + rots + folds + self.rescale(level)
         pm = num_diagonals * self.pmult(level)
         adds = max(0, num_diagonals - 1) * self.hadd(level)
         if hoisting == "none":

@@ -250,6 +250,71 @@ class FheBackend(abc.ABC):
         """
         return None
 
+    # -- fused rotate-and-sum fold (Gazelle hybrid, Section 8.2) ---------------
+    @property
+    def supports_fused_fold(self) -> bool:
+        """Whether this backend overrides :meth:`_rotate_sum_no_charge`."""
+        return (
+            type(self)._rotate_sum_no_charge
+            is not FheBackend._rotate_sum_no_charge
+        )
+
+    def rotate_sum_hoisted(
+        self, a, steps: Sequence[int], charged_rotations: Optional[int] = None
+    ):
+        """Return ``a + sum_s rot(a, s)`` with one hoisted key switch.
+
+        (Named to avoid confusion with
+        :func:`repro.core.attention.rotate_sum`, the sequential
+        slot-folding tree — which routes through this primitive when
+        the backend supports it.)
+
+        The Gazelle rotate-and-sum fold ``t -> t + rot(t, shift)``
+        cannot be hoisted directly (each fold rotates a *different*
+        accumulated ciphertext), but its composition expands into
+        rotations of the original ciphertext by every subset sum of the
+        shifts — and those *do* share a single digit decomposition plus
+        one deferred mod-down (the same double-hoisting trick as
+        :meth:`matvec_fused`).  Callers pass the expanded nonzero steps.
+
+        ``charged_rotations`` overrides the rotation *count* written to
+        the ledger (the matvec layer passes ``len(fold_shifts)`` so
+        "# Rots" stays comparable with the sequential fold and the
+        compile-time plan); the *seconds* charged are the fused price.
+        Backends without a fused path fall back to per-step hoisted
+        rotations and additions.
+        """
+        nonzero = sorted({s % self.slot_count for s in steps} - {0})
+        if not nonzero:
+            return a
+        out = self._rotate_sum_no_charge(a, nonzero)
+        if out is None:
+            rotated = self.rotate_group(a, nonzero)
+            result = a
+            for step in nonzero:
+                result = self.add(result, rotated[step])
+            return result
+        level = self.level_of(a)
+        rot_count = len(nonzero) if charged_rotations is None else charged_rotations
+        self.ledger.charge(
+            "hrot_hoisted",
+            self.costs.matvec_fused_rotations(level, len(nonzero)),
+            rot_count,
+        )
+        self.ledger.charge(
+            "hadd", self.costs.hadd(level) * len(nonzero), len(nonzero)
+        )
+        return out
+
+    def _rotate_sum_no_charge(self, a, steps: Sequence[int]):
+        """Fused rotate-and-sum primitive without ledger charges.
+
+        ``steps`` are unique, nonzero, already reduced mod slot count.
+        Default: unsupported (``None``); :meth:`rotate_sum` then falls
+        back to per-step hoisted rotations.
+        """
+        return None
+
     @abc.abstractmethod
     def _rotate_no_charge(self, a, steps: int):
         """Rotation primitive without ledger charges (used by rotate_group)."""

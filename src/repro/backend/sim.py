@@ -256,6 +256,20 @@ class SimBackend(FheBackend):
             outputs.append(SimCiphertext(values, level, out_scale, std))
         return outputs
 
+    def _rotate_sum_no_charge(self, a: SimCiphertext, steps) -> SimCiphertext:
+        """Functional fused rotate-and-sum fold with the fused noise
+        model: one key-switch noise term per rotation plus one for the
+        single deferred mod-down (the sequential fold instead compounds
+        a full key switch per fold step)."""
+        values = a.values.copy()
+        for step in steps:
+            values = values + np.roll(a.values, -step)
+        num_rots = len(steps)
+        ks_std = self._ks_noise * np.sqrt(num_rots + 1.0)
+        values = values + self._noise(self.slot_count, ks_std)
+        std = float(np.sqrt((num_rots + 1) * a.noise_std**2 + ks_std**2))
+        return SimCiphertext(values, a.level, a.scale, std)
+
     def bootstrap(self, a: SimCiphertext) -> SimCiphertext:
         """Refresh to L_eff; inputs must be within [-1, 1] (Section 6)."""
         max_abs = float(np.max(np.abs(a.values))) if a.values.size else 0.0

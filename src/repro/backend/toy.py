@@ -221,6 +221,43 @@ class ToyBackend(FheBackend):
             )
         return outputs
 
+    def _rotate_sum_no_charge(
+        self, a: Ciphertext, steps: Sequence[int]
+    ) -> Optional[Ciphertext]:
+        """Exact fused rotate-and-sum (the Gazelle fold, double-hoisted).
+
+        All rotations share one digit decomposition of ``a.c1`` via
+        :meth:`CkksContext.rotate_hoisted_raw`; their raw Q_l * P
+        accumulators are summed lazily in int64 and a single
+        :meth:`CkksContext._ks_moddown` replaces the per-fold key
+        switches of the sequential path.
+        """
+        ctx = self.context
+        level = a.level
+        raw = ctx.rotate_hoisted_raw(a, steps)
+        ks_chain = ctx._ks_chain(level)
+        data_primes = ctx._data_chain(level)
+        mod_ks = ctx.basis.moduli_column(ks_chain)
+        mod_q = ctx.basis.moduli_column(data_primes)
+        acc_ext = np.zeros((2, len(ks_chain), ctx.basis.ring_degree), dtype=np.int64)
+        c0_data = a.c0.data.astype(np.int64, copy=True)
+        # Entries stay < max prime (~2^31), so len(steps)+1 summands fit
+        # int64 with > 2^31 headroom: no intermediate reductions needed.
+        for step in steps:
+            rot0, acc = raw[step]
+            acc_ext += acc
+            c0_data += rot0.data
+        p0, p1 = ctx._ks_moddown(acc_ext % mod_ks, level)
+        c0_data = (c0_data + p0.data) % mod_q
+        c1_data = (a.c1.data + p1.data) % mod_q
+        return Ciphertext(
+            c0=RnsPolynomial(ctx.basis, data_primes, c0_data, is_ntt=True),
+            c1=RnsPolynomial(ctx.basis, data_primes, c1_data, is_ntt=True),
+            level=level,
+            scale=a.scale,
+            slot_count=a.slot_count,
+        )
+
     def bootstrap(self, a: Ciphertext) -> Ciphertext:
         if self._bootstrapper is not None:
             return self._bootstrapper.bootstrap(a)

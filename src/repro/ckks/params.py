@@ -214,6 +214,8 @@ def bootstrap_parameters(
     scale_bits: int = 27,
     boot_levels: int = 10,
     secret_hamming_weight: int = 8,
+    num_special_primes: int = 2,
+    ks_alpha: int = 1,
 ) -> CkksParameters:
     """Toy parameters sized for the *real* bootstrapping pipeline.
 
@@ -224,6 +226,10 @@ def bootstrap_parameters(
     survive plaintext rounding, and (iii) a chain deep enough for one
     CtS level + the EvalMod Chebyshev depth + one StC level plus a
     usable L_eff.  Primes stay below 2^31 (toy NTT bound).
+
+    ``ks_alpha > 1`` groups key-switch digits (dnum = ceil((L+1)/alpha));
+    the default two 30-bit special primes already dominate a two-limb
+    digit, so ``ks_alpha=2`` works without widening the special basis.
     """
     return CkksParameters(
         ring_degree=ring_degree,
@@ -233,7 +239,8 @@ def bootstrap_parameters(
         first_prime_bits=30,
         prime_bits=30,
         special_prime_bits=30,
-        num_special_primes=2,
+        num_special_primes=num_special_primes,
+        ks_alpha=ks_alpha,
         secret_hamming_weight=secret_hamming_weight,
     )
 

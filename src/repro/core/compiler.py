@@ -643,17 +643,6 @@ class _StatsCost:
         return self.stats.cost(level, cost_model)
 
 
-class _FcStats:
-    def __init__(self, rotations, pmults):
-        self.rotations = rotations
-        self.pmults = pmults
-
-    def cost(self, level, cost_model):
-        baby = max(1, self.rotations // 2)
-        giant = max(0, self.rotations - baby)
-        return cost_model.matvec_cost(level, self.pmults, baby, giant)
-
-
 _POLY_OPS_CACHE: Dict[int, Dict[str, int]] = {}
 
 

@@ -36,13 +36,25 @@ class PackingStats:
     num_unique_offsets: int
     out_layout: MultiplexedLayout
 
-    def cost(self, level: int, cost_model, hoisting: str = "double") -> float:
+    def cost(self, level: int, cost_model, hoisting: str = "fused") -> float:
+        """Modeled latency; defaults to the fused price like
+        :meth:`repro.core.packing.matvec.PackedMatVec.cost` so analyze
+        and materialize modes agree on placement decisions."""
         diag = self.pmults
         # Split rotations between babies and giants the way the plan did.
         baby = self.rotations - self._giants
-        return cost_model.matvec_cost(level, diag, baby, self._giants, hoisting)
+        return cost_model.matvec_cost(
+            level, diag, baby, self._giants, hoisting,
+            num_in=self.num_in_cts, num_out=self.num_out_cts,
+            num_folds=self.num_folds,
+            num_offsets=None if self._offsets < 0 else self._offsets,
+        )
 
     _giants: int = 0
+    num_folds: int = 0
+    # Distinct nonzero (input block, offset) pairs; -1 = unknown (the
+    # fused price then conservatively treats every diagonal as rotated).
+    _offsets: int = -1
 
 
 def analyze_conv_packing(
@@ -113,10 +125,16 @@ def analyze_conv_packing(
     bo = out_slot // n
     bi = in_slot // n
     diag = (in_slot - out_slot) % n
-    key = (bo * (int(bi.max()) + 1) + bi) * n + diag
+    num_in_blocks = int(bi.max()) + 1
+    key = (bo * num_in_blocks + bi) * n + diag
     unique_keys = np.unique(key)
     pmults = int(unique_keys.size)
     offsets = np.unique(unique_keys % n)
+    # Distinct (input block, offset) pairs with a nonzero offset: the
+    # key-switch inner products of the fused execution path.  Because
+    # key = (bo*B + bi)*n + diag, reducing mod B*n isolates bi*n + diag.
+    bi_diag = np.unique(unique_keys % (num_in_blocks * n))
+    nonzero_offsets = int(np.count_nonzero(bi_diag % n))
 
     plan = plan_bsgs(offsets.tolist(), n)
     # Babies hoist per input ciphertext; giants per output ciphertext.
@@ -140,6 +158,7 @@ def analyze_conv_packing(
         num_unique_offsets=int(offsets.size),
         out_layout=out_layout,
         _giants=giants,
+        _offsets=nonzero_offsets,
     )
 
     # Mirror build_conv_packing's Gazelle-hybrid choice for small outputs.
@@ -161,6 +180,8 @@ def analyze_conv_packing(
                 num_unique_offsets=int(hybrid_offsets.size),
                 out_layout=out_layout,
                 _giants=sum(1 for g in plan_h.giants if g) + folds,
+                num_folds=folds,
+                _offsets=int(np.count_nonzero(hybrid_offsets)),
             )
     return stats
 
@@ -212,6 +233,8 @@ def analyze_linear_packing(
         num_unique_offsets=len(offsets),
         out_layout=out_layout,
         _giants=sum(1 for g in plan.giants if g) + fold_count,
+        num_folds=fold_count,
+        _offsets=sum(1 for o in offsets if o) * in_layout.num_ciphertexts,
     )
 
 

@@ -24,6 +24,14 @@ pipeline: baby rotations go through ``rotate_hoisted`` and diagonals
 are pre-rotated at build time so giant steps apply to accumulated sums
 (Eq. 1 of the paper); ``hoisting="double-unfused"`` forces this
 fallback for apples-to-apples benchmarking.
+
+The Gazelle rotate-and-sum folds ride the same fast path: instead of
+log2(n/m2) sequential key switches on successively accumulated
+ciphertexts, the fold composition is expanded into rotations of the
+original accumulator by every subset sum of the shifts and executed via
+``FheBackend.rotate_sum_hoisted`` — one shared digit decomposition, one
+deferred mod-down — whenever the backend supports it and the cost model
+prices the expansion cheaper (see ``CostModel.fused_fold_cheaper``).
 """
 
 from __future__ import annotations
@@ -76,6 +84,9 @@ class PackedMatVec:
     _fused_terms: Optional[Dict] = field(
         default=None, repr=False, compare=False
     )
+    # Cached subset-sum expansion of fold_shifts ("unset" = not yet
+    # computed; None = subset sums collide, keep the sequential fold).
+    _fold_steps: object = field(default="unset", repr=False, compare=False)
 
     # -- op-count queries (paper Tables 2-4) ---------------------------------
     def _babies_for_in_block(self, bi: int) -> List[int]:
@@ -104,6 +115,19 @@ class PackedMatVec:
     def pmult_count(self) -> int:
         return sum(len(dmap) for dmap in self.diags.values())
 
+    def nonzero_offset_count(self) -> int:
+        """Distinct (input block, nonzero offset) pairs: the key-switch
+        inner products the fused path performs (offset-0 diagonals are
+        plain pt * ct products, no key switch)."""
+        return len(
+            {
+                (bi, offset)
+                for (_, bi), dmap in self.diags.items()
+                for offset in dmap
+                if offset
+            }
+        )
+
     def counts(self) -> Tuple[int, int, int]:
         """(num_diagonals, num_baby_rotations, num_giant_rotations)."""
         babies = sum(
@@ -116,12 +140,20 @@ class PackedMatVec:
         ) + len(self.fold_shifts) * self.num_out
         return self.pmult_count(), babies, giants
 
-    def cost(self, level: int, cost_model, hoisting: str = "double") -> float:
-        """Modeled latency at the given level (drives placement)."""
+    def cost(self, level: int, cost_model, hoisting: str = "fused") -> float:
+        """Modeled latency at the given level (drives placement).
+
+        Defaults to the ``"fused"`` price, matching how :meth:`execute`
+        actually runs on fused-capable backends; non-fused modes price
+        the Gazelle folds inside the giant count, the fused mode prices
+        them separately (``CostModel.fold_cost``).
+        """
         diag, baby, giant = self.counts()
         return cost_model.matvec_cost(
             level, diag, baby, giant, hoisting,
             num_in=self.num_in, num_out=self.num_out,
+            num_folds=len(self.fold_shifts),
+            num_offsets=self.nonzero_offset_count(),
         )
 
     def _bsgs_rotation_count(self) -> int:
@@ -147,6 +179,58 @@ class PackedMatVec:
                     terms[(bo, bi, offset)] = np.roll(vec, -giant) if giant else vec
             self._fused_terms = terms
         return self._fused_terms
+
+    def _fold_expansion(self) -> Optional[List[int]]:
+        """Composite rotation steps equivalent to the sequential fold.
+
+        ``t -> t + rot(t, s)`` applied over ``fold_shifts`` equals
+        ``sum_S rot(t0, sum(S))`` over every subset S of the shifts.
+        For the power-of-two shift ladders the builders emit, the subset
+        sums are distinct — the nonzero ones are returned, all rotating
+        the *original* accumulator so one decomposition is shared.
+        Returns ``None`` when subset sums collide (multiplicities would
+        be needed); callers then keep the sequential fold.  Computed
+        once and cached (the expansion is O(2^folds) entries).
+        """
+        if self._fold_steps == "unset":
+            sums = [0]
+            for shift in self.fold_shifts:
+                sums = sums + [(s + shift) % self.slots for s in sums]
+            if len(set(sums)) != len(sums):
+                self._fold_steps = None
+            else:
+                self._fold_steps = sorted(s for s in sums if s)
+        return self._fold_steps
+
+    def _apply_folds(self, backend, total, hoisting: str, level: int):
+        """Run the Gazelle rotate-and-sum fold on one output block.
+
+        Takes the fused expanded form (one shared decomposition, one
+        deferred mod-down via ``backend.rotate_sum_hoisted``) when the
+        backend supports it and the cost model says the expansion is
+        cheaper; otherwise the classic log-depth sequential fold.
+
+        ``level`` is the matvec's *input* level — the same level
+        ``CostModel.fold_cost`` prices the folds at — so the executed
+        form always matches the planner's model even though the fold
+        itself runs one level lower (after the rescale).  The cheapness
+        check runs before the O(2^folds) expansion is built.
+        """
+        if not self.fold_shifts:
+            return total
+        if (
+            hoisting == "double"
+            and getattr(backend, "supports_fused_fold", False)
+            and backend.costs.fused_fold_cheaper(level, len(self.fold_shifts))
+        ):
+            steps = self._fold_expansion()
+            if steps is not None:
+                return backend.rotate_sum_hoisted(
+                    total, steps, charged_rotations=len(self.fold_shifts)
+                )
+        for shift in self.fold_shifts:
+            total = backend.add(total, backend.rotate(total, shift))
+        return total
 
     # -- execution -------------------------------------------------------------
     def execute(self, backend, in_cts: List, pt_scale: Fraction, hoisting: str = "double"):
@@ -197,8 +281,7 @@ class PackedMatVec:
                     per_backend[("zero", level, pt_scale)] = zero_pt
                 total = backend.mul_plain(in_cts[0], zero_pt)
             total = backend.rescale(total)
-            for shift in self.fold_shifts:
-                total = backend.add(total, backend.rotate(total, shift))
+            total = self._apply_folds(backend, total, hoisting, level)
             if self.bias_vecs is not None:
                 out_level = backend.level_of(total)
                 out_scale = backend.scale_of(total)

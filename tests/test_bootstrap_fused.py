@@ -1,0 +1,404 @@
+"""Tests for the fused bootstrap transforms, fused Gazelle folds, and
+fused planner pricing (the PR 3 tentpole).
+
+Three layers of coverage:
+
+- the fused ``CkksBootstrapper._matvec_sum`` (multi-input "sum_i M_i x_i"
+  via ``FheBackend.matvec_fused``) asserted **bit-exact** against a
+  per-rotation reference that pays a fresh digit decomposition per
+  rotation but the same deferred mod-down — including a grouped-digit
+  (``ks_alpha=2``) configuration whose transform levels leave a partial
+  last digit;
+- the fused Gazelle rotate-and-sum fold (``FheBackend.rotate_sum_hoisted``),
+  bit-exact against per-rotation raw accumulators and numerically
+  against the sequential fold, with "# Rots" ledger parity;
+- the cost model / placement planner, which now prices linear layers
+  with the ``"fused"`` model by default.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.backend import SimBackend, ToyBackend
+from repro.backend.costs import CostModel
+from repro.ckks.bootstrap import CkksBootstrapper
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.params import bootstrap_parameters, toy_parameters
+from repro.core.packing.layouts import VectorLayout
+from repro.core.packing.matvec import build_linear_packing
+from repro.core.placement import LayerSpec, PlacementChain, solve_placement
+from repro.rns.poly import RnsPolynomial
+
+BOOT_PARAM_SETS = {
+    # Small ring keeps the suite fast; alpha2's transform levels have an
+    # odd limb count, so the last key-switch digit group is partial.
+    "alpha1": dict(ring_degree=64),
+    "alpha2": dict(ring_degree=64, ks_alpha=2),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(BOOT_PARAM_SETS))
+def boot_setup(request):
+    params = bootstrap_parameters(**BOOT_PARAM_SETS[request.param])
+    backend = ToyBackend(params, seed=7)
+    fused = CkksBootstrapper(backend, fused=True)
+    unfused = CkksBootstrapper(backend, fused=False)
+    rng = np.random.default_rng(3)
+    message = rng.uniform(-0.9, 0.9, params.slot_count)
+    ct = backend.encode_encrypt(message, level=0)
+    raised = fused._prescale(
+        backend.context.mod_raise(ct, Fraction(fused.q0) * fused.window)
+    )
+    conj = backend.conjugate(raised)
+    level = backend.level_of(raised)
+    pt_scale = (
+        Fraction(params.primes[level - 1]) * params.primes[level] / raised.scale
+    )
+    pairs = {
+        "cts_lo": [(raised, fused.cts_lo[0]), (conj, fused.cts_lo[1])],
+        "cts_hi": [(raised, fused.cts_hi[0]), (conj, fused.cts_hi[1])],
+    }
+    return backend, fused, unfused, pairs, pt_scale, message, ct
+
+
+def per_rotation_matvec_sum(bs, pairs, pt_scale, table):
+    """Per-rotation reference: fresh decomposition per rotation,
+    immediate reductions, one deferred mod-down — the same exact math
+    as the fused path, organized one rotation at a time."""
+    ctx = bs.backend.context
+    plan = bs._transform_plan(table, pairs)
+    in_cts = [ct for ct, _ in pairs]
+    level = in_cts[0].level
+    ks_chain = ctx._ks_chain(level)
+    mod_ks = ctx.basis.moduli_column(ks_chain)
+    data_primes = ctx._data_chain(level)
+    mod_q = ctx.basis.moduli_column(data_primes)
+    acc_ext = np.zeros((2, len(ks_chain), ctx.basis.ring_degree), dtype=np.int64)
+    acc_c0 = np.zeros((len(data_primes), ctx.basis.ring_degree), dtype=np.int64)
+    acc_c1 = None
+    for (_, i, k) in sorted(plan["terms"]):
+        pt = ctx.encode(plan["terms"][(0, i, k)], level=level, scale=Fraction(pt_scale))
+        if k == 0:
+            acc_c0 = (acc_c0 + pt.poly.data * in_cts[i].c0.data) % mod_q
+            if acc_c1 is None:
+                acc_c1 = np.zeros_like(acc_c0)
+            acc_c1 = (acc_c1 + pt.poly.data * in_cts[i].c1.data) % mod_q
+            continue
+        rot0, acc = ctx.rotate_hoisted_raw(in_cts[i], [k])[k]
+        pt_ext = pt.poly.extend_primes_reference(ks_chain).data
+        acc_ext = (acc_ext + pt_ext * acc) % mod_ks
+        acc_c0 = (acc_c0 + pt.poly.data * rot0.data) % mod_q
+    p0, p1 = ctx._ks_moddown(acc_ext, level)
+    c0 = (acc_c0 + p0.data) % mod_q
+    c1 = p1.data if acc_c1 is None else (acc_c1 + p1.data) % mod_q
+    out = Ciphertext(
+        c0=RnsPolynomial(ctx.basis, data_primes, c0, is_ntt=True),
+        c1=RnsPolynomial(ctx.basis, data_primes, c1, is_ntt=True),
+        level=level,
+        scale=in_cts[0].scale * Fraction(pt_scale),
+        slot_count=in_cts[0].slot_count,
+    )
+    return ctx.rescale(out)
+
+
+class TestFusedBootstrapTransforms:
+    def test_bitwise_equals_per_rotation_reference(self, boot_setup):
+        backend, fused, _, pairs, pt_scale, _, _ = boot_setup
+        for table, table_pairs in pairs.items():
+            got = fused._matvec_sum(table_pairs, pt_scale, table)
+            ref = per_rotation_matvec_sum(fused, table_pairs, pt_scale, table)
+            assert np.array_equal(got.c0.data, ref.c0.data), table
+            assert np.array_equal(got.c1.data, ref.c1.data), table
+
+    def test_matches_unfused_pipeline_to_noise_precision(self, boot_setup):
+        """The per-rotation BSGS fallback reorders the mod-down
+        roundings, so agreement is to noise precision, not bitwise."""
+        backend, fused, unfused, pairs, pt_scale, _, _ = boot_setup
+        for table, table_pairs in pairs.items():
+            a = fused._matvec_sum(table_pairs, pt_scale, table)
+            b = unfused._matvec_sum(table_pairs, pt_scale, table)
+            assert a.level == b.level and a.scale == b.scale
+            da, db = backend.decrypt(a), backend.decrypt(b)
+            assert np.abs(da - db).max() < 5e-2 * max(1.0, np.abs(da).max())
+
+    def test_ledger_rotation_parity(self, boot_setup):
+        """Both paths report the BSGS plan's rotation count (identity
+        baby steps excluded) so "# Rots" stays paper-comparable."""
+        backend, fused, unfused, pairs, pt_scale, _, _ = boot_setup
+        plan_rots = fused._transform_plan("cts_lo", pairs["cts_lo"])["rot_count"]
+        backend.ledger.reset()
+        fused._matvec_sum(pairs["cts_lo"], pt_scale, "cts_lo")
+        assert backend.ledger.rotations == plan_rots
+        backend.ledger.reset()
+        unfused._matvec_sum(pairs["cts_lo"], pt_scale, "cts_lo")
+        assert backend.ledger.rotations == plan_rots
+
+    def test_identity_rotation_never_charged(self, boot_setup):
+        """Rotation by 0 is free everywhere: in ``rotate_group`` and in
+        the transform plan (the old code planned ``range(n1)`` babies)."""
+        backend, fused, _, pairs, _, _, ct = boot_setup
+        plan = fused._transform_plan("cts_lo", pairs["cts_lo"])
+        used = {b for babies in plan["babies"] for b in babies}
+        assert plan["rot_count"] < len(plan["terms"])
+        assert 0 in used  # offset 0 exists in a dense transform...
+        backend.ledger.reset()
+        outs = backend.rotate_group(pairs["cts_lo"][0][0], [0])
+        assert backend.ledger.rotations == 0  # ...but never charges
+        assert outs[0] is pairs["cts_lo"][0][0]
+
+    def test_diagonal_plaintexts_cached_across_calls(self, boot_setup):
+        backend, fused, _, pairs, pt_scale, _, _ = boot_setup
+        fused._matvec_sum(pairs["cts_hi"], pt_scale, "cts_hi")  # warm
+        calls = []
+        original = backend.context.encode
+
+        def counting_encode(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        backend.context.encode = counting_encode
+        try:
+            fused._matvec_sum(pairs["cts_hi"], pt_scale, "cts_hi")
+        finally:
+            backend.context.encode = original
+        assert calls == []
+
+    def test_full_bootstrap_fused_matches_unfused(self, boot_setup):
+        backend, fused, unfused, _, _, message, ct = boot_setup
+        backend.ledger.reset()
+        out_f = fused.bootstrap(ct)
+        rots_fused = backend.ledger.rotations
+        backend.ledger.reset()
+        out_u = unfused.bootstrap(ct)
+        assert backend.ledger.rotations == rots_fused
+        assert out_f.level == out_u.level
+        assert out_f.scale == out_u.scale == Fraction(backend.params.scale)
+        got_f, got_u = backend.decrypt(out_f), backend.decrypt(out_u)
+        assert np.abs(got_f - message).mean() < 2.0**-7
+        assert np.abs(got_f - got_u).max() < 2.0**-6
+
+
+FOLD_PARAM_SETS = {
+    "alpha1": dict(ring_degree=256, max_level=5),
+    "alpha2_special2": dict(
+        ring_degree=256, max_level=5, num_special_primes=2, ks_alpha=2
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FOLD_PARAM_SETS))
+def fold_setup(request):
+    backend = ToyBackend(toy_parameters(**FOLD_PARAM_SETS[request.param]), seed=5)
+    n = backend.slot_count
+    rng = np.random.default_rng(11)
+    m = n // 8  # squat matrix -> Gazelle hybrid with a 3-deep fold
+    matrix = rng.uniform(-1, 1, (m, n))
+    packed = build_linear_packing(matrix, None, VectorLayout(n, n), name="fc")
+    assert packed.fold_shifts, "expected the Gazelle hybrid plan"
+    values = np.linspace(-1, 1, n)
+    ct = backend.encode_encrypt(values)
+    return backend, packed, ct, values
+
+
+class TestFusedGazelleFold:
+    def test_fold_expansion_is_subset_sums(self, fold_setup):
+        _, packed, _, _ = fold_setup
+        steps = packed._fold_expansion()
+        m2 = min(packed.fold_shifts)
+        f = packed.slots // m2
+        assert steps == [j * m2 for j in range(1, f)]
+
+    def test_rotate_sum_bitwise_equals_per_rotation_raw(self, fold_setup):
+        """Shared-decomposition rotate_sum == per-rotation fresh
+        decompositions + one mod-down, bit for bit (including a
+        partial-digit level in the alpha2 configuration)."""
+        backend, packed, ct, _ = fold_setup
+        ctx = backend.context
+        for level in (ct.level, ct.level - 1):  # odd limb count -> partial digit
+            a = backend.level_down(ct, level)
+            steps = packed._fold_expansion()
+            got = backend.rotate_sum_hoisted(a, steps)
+            ks_chain = ctx._ks_chain(level)
+            mod_ks = ctx.basis.moduli_column(ks_chain)
+            data_primes = ctx._data_chain(level)
+            mod_q = ctx.basis.moduli_column(data_primes)
+            acc = np.zeros((2, len(ks_chain), ctx.basis.ring_degree), dtype=np.int64)
+            c0 = a.c0.data.copy()
+            for step in steps:
+                rot0, raw = ctx.rotate_hoisted_raw(a, [step])[step]
+                acc = (acc + raw) % mod_ks
+                c0 = (c0 + rot0.data) % mod_q
+            p0, p1 = ctx._ks_moddown(acc, level)
+            assert np.array_equal(got.c0.data, (c0 + p0.data) % mod_q)
+            assert np.array_equal(got.c1.data, (a.c1.data + p1.data) % mod_q)
+
+    def test_fused_execute_matches_sequential_and_cleartext(self, fold_setup):
+        backend, packed, ct, values = fold_setup
+        pt_scale = Fraction(backend.params.data_primes[ct.level])
+        expected = packed.execute_cleartext([values])[0]
+        tol = 0.05 * max(1.0, np.abs(expected).max())
+        fused = backend.decrypt(packed.execute(backend, [ct], pt_scale)[0])
+        sequential = backend.decrypt(
+            packed.execute(backend, [ct], pt_scale, hoisting="double-unfused")[0]
+        )
+        assert np.abs(fused - expected).max() < tol
+        assert np.abs(sequential - expected).max() < tol
+        assert np.abs(fused - sequential).max() < tol
+
+    def test_fold_ledger_rotations_match_plan(self, fold_setup):
+        """The fused fold charges len(fold_shifts) rotations (not the
+        expanded count), keeping "# Rots" == the compile-time plan."""
+        backend, packed, ct, _ = fold_setup
+        pt_scale = Fraction(backend.params.data_primes[ct.level])
+        packed.execute(backend, [ct], pt_scale)  # warm caches
+        backend.ledger.reset()
+        packed.execute(backend, [ct], pt_scale)
+        assert backend.ledger.rotations == packed.rotation_count()
+
+    def test_sim_backend_fused_fold(self, fold_setup):
+        backend, packed, _, values = fold_setup
+        sim = SimBackend(backend.params, seed=9)
+        assert sim.supports_fused_fold
+        ct = sim.encode_encrypt(values)
+        pt_scale = Fraction(backend.params.data_primes[ct.level])
+        expected = packed.execute_cleartext([values])[0]
+        got = sim.decrypt(packed.execute(sim, [ct], pt_scale)[0])
+        assert np.abs(got - expected).max() < 0.05 * max(1.0, np.abs(expected).max())
+        sim.ledger.reset()
+        packed.execute(sim, [ct], pt_scale)
+        assert sim.ledger.rotations == packed.rotation_count()
+
+    def test_rotate_sum_identity_and_dedup(self, fold_setup):
+        backend, _, ct, values = fold_setup
+        n = backend.slot_count
+        assert backend.rotate_sum_hoisted(ct, [0]) is ct
+        got = backend.decrypt(backend.rotate_sum_hoisted(ct, [3, 3 - n, 0]))
+        assert np.abs(got - (values + np.roll(values, -3))).max() < 2e-2
+
+
+class TestFusedPlannerPricing:
+    def test_packed_cost_defaults_to_fused_price(self):
+        params = toy_parameters(ring_degree=256, max_level=5)
+        costs = CostModel(params)
+        backend = ToyBackend(params, seed=1)
+        n = backend.slot_count
+        # Banded square matrix: genuine baby + giant steps, no fold —
+        # the shape where deferring the mod-down pays off most.
+        band = 16
+        rng = np.random.default_rng(0)
+        matrix = np.zeros((n, n))
+        rows = np.arange(n)[:, None]
+        matrix[rows, (rows + np.arange(band)[None, :]) % n] = rng.uniform(
+            -1, 1, (n, band)
+        )
+        packed = build_linear_packing(matrix, None, VectorLayout(n, n))
+        assert not packed.fold_shifts
+        diag, baby, giant = packed.counts()
+        level = 4
+        fused = costs.matvec_cost(
+            level, diag, baby, giant, "fused",
+            num_in=packed.num_in, num_out=packed.num_out,
+            num_folds=len(packed.fold_shifts),
+            num_offsets=packed.nonzero_offset_count(),
+        )
+        assert packed.cost(level, costs) == fused
+        assert fused < packed.cost(level, costs, hoisting="none")
+        # At paper scale the deferred mod-down genuinely wins in-model:
+        # deep chains make each giant step's decomposition (dnum NTT
+        # batches) the dominant term the fused path amortizes away.
+        from repro.ckks.params import paper_parameters
+
+        paper_costs = CostModel(paper_parameters())
+        top = paper_parameters().max_level
+        assert packed.cost(top, paper_costs) < packed.cost(
+            top, paper_costs, hoisting="double"
+        )
+
+    def test_offset_zero_only_layer_pays_no_keyswitch(self):
+        """A depthwise 1x1 conv (batchnorm) has only offset-0 diagonals:
+        execution performs no key switch, and neither does the price."""
+        costs = CostModel(toy_parameters(ring_degree=256, max_level=5))
+        level = 4
+        priced = costs.matvec_cost(
+            level, 4, 0, 0, "fused", num_in=1, num_out=1, num_offsets=0
+        )
+        no_rotation_floor = (
+            4 * costs.pmult_fused(level)
+            + 3 * costs.hadd(level)
+            + costs.rescale(level)
+        )
+        assert priced == no_rotation_floor
+
+    def test_fold_cost_picks_cheaper_form(self):
+        costs = CostModel(toy_parameters(ring_degree=256, max_level=5))
+        level = 5
+        # Shallow folds: the expansion (shared decomposition) wins.
+        assert costs.fused_fold_cheaper(level, 3)
+        shallow = costs.fold_cost(level, 3)
+        assert shallow < 3 * (costs.hrot(level) + costs.hadd(level))
+        # Pathologically deep folds: sequential is cheaper, and
+        # fold_cost must never exceed the sequential price.
+        deep = costs.fold_cost(level, 20)
+        assert deep <= 20 * (costs.hrot(level) + costs.hadd(level))
+
+    def test_placement_under_fused_prices_is_valid(self):
+        """The planner consumes the fused default price and still emits
+        a feasible, consistent level policy."""
+        params = toy_parameters(ring_degree=256, max_level=5)
+        costs = CostModel(params)
+        backend = ToyBackend(params, seed=1)
+        n = backend.slot_count
+        matrix = np.random.default_rng(1).uniform(-1, 1, (n, n))
+        packed = build_linear_packing(matrix, None, VectorLayout(n, n))
+        chain = PlacementChain(
+            [
+                LayerSpec(
+                    f"fc{i}",
+                    depth=1,
+                    cost_fn=lambda l: packed.cost(l, costs),
+                    boot_units=1,
+                )
+                for i in range(6)
+            ]
+        )
+        result = solve_placement(chain, l_eff=3, boot_cost=costs.bootstrap())
+        assert result.num_bootstraps >= 1  # 6 levels of depth, L_eff = 3
+        level = result.entry_level
+        for policy in result.policies:
+            if policy.bootstrap_before:
+                level = 3
+            assert policy.exec_level <= level
+            level = policy.exec_level - 1
+            assert level >= 0
+        # The chain total is built from the fused per-layer prices.
+        expected_layer = packed.cost(result.policies[0].exec_level, costs)
+        assert chain.items[0].cost_fn(result.policies[0].exec_level) == expected_layer
+
+    def test_table5_placements_stay_valid_under_fused_prices(self):
+        """Compile ResNet-20 (analyze mode) with the fused default and
+        re-validate the Table 5 contract: a feasible, consistent level
+        policy with a paper-regime bootstrap count."""
+        from repro.ckks.params import paper_parameters
+        from repro.models import relu_act, resnet_cifar
+        from repro.nn import init
+        from repro.orion import OrionNetwork
+
+        init.seed_init(20)
+        net = resnet_cifar(20, act=relu_act())
+        compiled = OrionNetwork(net, (3, 32, 32)).compile(
+            paper_parameters(), mode="analyze"
+        )
+        placement = compiled.placement
+        l_eff = paper_parameters().effective_level
+        level = placement.entry_level
+        for policy in placement.policies:
+            if policy.bootstrap_before:
+                level = l_eff
+            assert policy.exec_level <= level
+            level = policy.exec_level - getattr(policy, "depth", 0)
+        # Paper Table 5 regime: tens of bootstraps for ResNet-20, not
+        # hundreds (the fused prices must not destabilize placement).
+        assert 20 <= compiled.num_bootstraps <= 90
+        assert placement.modeled_seconds > 0
