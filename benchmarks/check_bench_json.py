@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""CI bench-gate: validate BENCH_ckks_hotpath.json and enforce floors.
+"""CI bench-gate: validate the benchmark JSONs and enforce floors.
 
 Runs as a dedicated workflow step (after the quick-mode benchmarks have
 merged their medians) so a perf regression fails the build *loudly* on
 its own line instead of deep inside a pytest trace:
 
-    python benchmarks/check_bench_json.py [path/to/BENCH_ckks_hotpath.json]
+    python benchmarks/check_bench_json.py [json ...]
+
+With no arguments it checks ``BENCH_ckks_hotpath.json`` (always) and
+``BENCH_serving.json`` (when present).  Which sections a file *must*
+carry is keyed by its basename, so the hot-path file is not required to
+record serving medians and vice versa.
 
 Checks two things:
 
@@ -27,10 +32,9 @@ import math
 import os
 import sys
 
-DEFAULT_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_ckks_hotpath.json",
-)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATH = os.path.join(REPO_ROOT, "BENCH_ckks_hotpath.json")
+SERVING_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
 
 META_FIELDS = {
     "ring_degree": int,
@@ -56,6 +60,17 @@ FLOORS = {
         "speedup_fused_vs_per_rotation": (1.5, 1.5),
         "speedup_fused_vs_bsgs": (1.05, 1.05),
     },
+    "serving": {
+        "speedup_batched_vs_single": (2.0, 2.0),
+    },
+}
+
+# Which gated sections each benchmark JSON is responsible for carrying
+# (in at least one config) — so the gate cannot be green by running
+# nothing, without demanding serving medians of the hot-path file.
+REQUIRED_SECTIONS = {
+    "BENCH_ckks_hotpath.json": ("ops", "bsgs_matvec", "bootstrap_transforms"),
+    "BENCH_serving.json": ("serving",),
 }
 
 # Numeric fields every section entry must carry (besides the speedups).
@@ -67,6 +82,7 @@ SECTION_MEDIANS = {
         "bsgs_median_ms",
         "per_rotation_median_ms",
     ),
+    "serving": ("single_request_median_ms", "batched_request_median_ms"),
 }
 
 
@@ -140,7 +156,8 @@ def check(path):
                         f"PERF REGRESSION {config_key}/{section}.{dotted}: "
                         f"{value}x is below the {floor}x floor"
                     )
-    for section in FLOORS:
+    required = REQUIRED_SECTIONS.get(os.path.basename(path), tuple(FLOORS))
+    for section in required:
         if section not in seen_sections:
             errors.append(
                 f"no config records section '{section}' — the benchmark that "
@@ -150,17 +167,25 @@ def check(path):
 
 
 def main(argv):
-    path = argv[1] if len(argv) > 1 else DEFAULT_PATH
-    errors = check(path)
-    if errors:
-        print(f"bench-gate FAILED for {path}:")
-        for error in errors:
-            print(f"  - {error}")
-        return 1
-    with open(path) as f:
-        num_configs = len(json.load(f)["configs"])
-    print(f"bench-gate OK: {num_configs} configs in {path} clear all floors")
-    return 0
+    if len(argv) > 1:
+        paths = argv[1:]
+    else:
+        paths = [DEFAULT_PATH]
+        if os.path.exists(SERVING_PATH):
+            paths.append(SERVING_PATH)
+    failed = False
+    for path in paths:
+        errors = check(path)
+        if errors:
+            failed = True
+            print(f"bench-gate FAILED for {path}:")
+            for error in errors:
+                print(f"  - {error}")
+            continue
+        with open(path) as f:
+            num_configs = len(json.load(f)["configs"])
+        print(f"bench-gate OK: {num_configs} configs in {path} clear all floors")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -61,6 +61,28 @@ class FheBackend(abc.ABC):
         level = self.params.max_level if level is None else level
         return self.encrypt(self.encode(values, level, self.params.scale))
 
+    def plaintext_cache_key(self, level: int, scale: ScaleLike) -> tuple:
+        """Canonical fingerprint for cached encodes of static data.
+
+        An encoded plaintext is only reusable at the exact (level,
+        scale) it was produced for, over the exact prime chain and
+        key-switch digit grouping of this parameter set.  Every
+        plaintext cache in the serve-many path — ``PackedMatVec`` weight
+        tables, bootstrap transform tables, and the entries inside any
+        ``pt_cache`` handed to :meth:`matvec_fused` — must key entries
+        by this tuple so a second request entering at a different level
+        or scale (or an artifact preloaded for a different ks_alpha)
+        can never hit a stale encode.
+        """
+        params = self.params
+        return (
+            level,
+            Fraction(scale),
+            getattr(params, "ks_alpha", 1),
+            params.num_special_primes,
+            params.primes,
+        )
+
     # -- metadata ------------------------------------------------------------
     @abc.abstractmethod
     def level_of(self, ciphertext) -> int: ...
@@ -202,8 +224,12 @@ class FheBackend(abc.ABC):
         or ``None`` when the backend has no fused path — callers then
         fall back to the per-rotation BSGS pipeline.
 
-        ``pt_cache`` (keyed by term) persists encoded/lifted weight
-        plaintexts across executions.  ``charged_rotations`` overrides
+        ``pt_cache`` persists encoded/lifted weight plaintexts across
+        executions.  Backends key its entries by term id *plus*
+        :meth:`plaintext_cache_key`, so one dict may be shared across
+        levels, scales, and key-switch configurations (the serve-many
+        artifact preload does exactly that) without ever serving a
+        stale encode.  ``charged_rotations`` overrides
         the rotation *count* written to the ledger (the matvec layer
         passes its BSGS baby+giant count so "# Rots" accounting stays
         comparable with compile-time predictions and the paper tables);

@@ -9,6 +9,7 @@ per layer) so conv-time vs bootstrap-time splits can be reported
 
 from __future__ import annotations
 
+import math
 from collections import Counter, defaultdict
 from typing import Dict, Optional
 
@@ -95,6 +96,20 @@ class OpLedger:
         out["rotations"] = self.rotations
         return out
 
+    def merge(self, other: "OpLedger") -> None:
+        """Fold another ledger's charges into this one.
+
+        The serving runtime gives every request a scratch ledger (so
+        per-request op counts and modeled latency are attributable) and
+        merges it into the server's cumulative ledger afterwards.
+        """
+        self.counts.update(other.counts)
+        self.seconds += other.seconds
+        for phase, secs in other.seconds_by_phase.items():
+            self.seconds_by_phase[phase] += secs
+        for phase, counter in other.counts_by_phase.items():
+            self.counts_by_phase[phase].update(counter)
+
     def reset(self) -> None:
         self.counts.clear()
         self.seconds = 0.0
@@ -108,3 +123,62 @@ class OpLedger:
             f"pmult={self.counts['pmult']}, hmult={self.counts['hmult']}, "
             f"seconds={self.seconds:.3f})"
         )
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram (serving telemetry).
+
+    Buckets are powers of two of ``base_seconds``: bucket i counts
+    observations in [base * 2^i, base * 2^(i+1)).  Cheap to merge and
+    to read percentiles from — the shape production serving stacks
+    track per-op and per-request latency with.
+    """
+
+    def __init__(self, base_seconds: float = 1e-4, num_buckets: int = 32):
+        self.base = base_seconds
+        self.buckets = [0] * num_buckets
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds <= 0.0:
+            index = 0
+        else:
+            index = int(max(0.0, math.log2(seconds / self.base)))
+        self.buckets[min(index, len(self.buckets) - 1)] += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.base != self.base or len(other.buckets) != len(self.buckets):
+            raise ValueError("histogram shapes differ")
+        self.count += other.count
+        self.total += other.total
+        for i, c in enumerate(other.buckets):
+            self.buckets[i] += c
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper edge of the bucket holding the q-quantile observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.buckets):
+            seen += c
+            if seen >= target:
+                return self.base * (2.0 ** (i + 1))
+        return self.base * (2.0 ** len(self.buckets))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.quantile(0.5),
+            "p99_seconds": self.quantile(0.99),
+        }

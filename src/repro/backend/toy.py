@@ -138,6 +138,10 @@ class ToyBackend(FheBackend):
         mod_q = basis.moduli_column(data_primes)
         cache = {} if pt_cache is None else pt_cache
         pt_scale = Fraction(pt_scale)
+        # Entries are keyed by term id + the full encode fingerprint, so
+        # a shared/preloaded cache can never serve a stale encode to a
+        # request entering at a different level, scale, or ks config.
+        cache_fp = self.plaintext_cache_key(level, pt_scale)
 
         # One shared decomposition per input block, raw (pre mod-down).
         offsets_by_bi: Dict[int, set] = {}
@@ -172,14 +176,14 @@ class ToyBackend(FheBackend):
             pending_ext = pending_q = 0
             has_rotated = False
             for bi, off in bo_terms:
-                entry = cache.get((bo, bi, off))
+                entry = cache.get((bo, bi, off, cache_fp))
                 if entry is None:
                     pt = ctx.encode(terms[(bo, bi, off)], level=level, scale=pt_scale)
                     pt_ext = (
                         pt.poly.extend_primes(ks_chain).data if off else None
                     )
                     entry = (pt, pt_ext)
-                    cache[(bo, bi, off)] = entry
+                    cache[(bo, bi, off, cache_fp)] = entry
                 pt, pt_ext = entry
                 if pending_q == chunk:
                     acc_c0 %= mod_q

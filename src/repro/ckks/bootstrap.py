@@ -274,7 +274,10 @@ class CkksBootstrapper:
         if self.fused and getattr(backend, "supports_fused_matvec", False):
             plan = self._transform_plan(table, pairs)
             level = backend.level_of(pairs[0][0])
-            cache = self._pt_caches.setdefault(("fused", table, level, pt_scale), {})
+            cache = self._pt_caches.setdefault(
+                ("fused", table) + backend.plaintext_cache_key(level, pt_scale),
+                {},
+            )
             outs = backend.matvec_fused(
                 [ct for ct, _ in pairs],
                 plan["terms"],
@@ -308,7 +311,9 @@ class CkksBootstrapper:
             backend.rotate_group(ct, plan["babies"][i])
             for i, (ct, _) in enumerate(pairs)
         ]
-        cache = self._pt_caches.setdefault(("unfused", table, level, pt_scale), {})
+        cache = self._pt_caches.setdefault(
+            ("unfused", table) + backend.plaintext_cache_key(level, pt_scale), {}
+        )
         acc = None
         for giant, offsets_by_input in plan["by_giant"].items():
             part = None

@@ -14,6 +14,8 @@ method; ks_alpha = 1 recovers the per-limb decomposition.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -60,3 +62,80 @@ class KeyChain:
 
     def num_rotation_keys(self) -> int:
         return len(self.galois)
+
+
+@dataclass(frozen=True)
+class KeyManifest:
+    """The key material contract between an artifact and its clients.
+
+    A serving artifact (``repro.serve.artifact``) ships no keys — keys
+    are per-client secrets.  Instead it ships this manifest: the exact
+    parameter set the program was compiled for and the exact Galois
+    steps execution will request, so a client (or the server's
+    :class:`repro.serve.keys.KeyRegistry` acting for one) can generate
+    precisely the key material the program needs — no trial-and-error
+    keygen on the request path, no unused rotation keys.
+
+    ``params_dict`` holds every :class:`repro.ckks.params.CkksParameters`
+    field including the realized prime chain, so reconstructed
+    parameters are value-identical to the compiler's (the prime chain,
+    ``ks_alpha`` digit grouping, and special basis all participate in
+    :meth:`fingerprint`, which keys multi-tenant backend caches).
+    """
+
+    params_dict: Dict
+    rotation_steps: Tuple[int, ...]
+    needs_conjugation: bool = False
+
+    @classmethod
+    def for_program(cls, params, program) -> "KeyManifest":
+        """Manifest covering one compiled program on one parameter set."""
+        fields = {
+            "ring_degree": params.ring_degree,
+            "scale_bits": params.scale_bits,
+            "max_level": params.max_level,
+            "first_prime_bits": params.first_prime_bits,
+            "prime_bits": params.prime_bits,
+            "special_prime_bits": params.special_prime_bits,
+            "boot_levels": params.boot_levels,
+            "ring_type": params.ring_type.value,
+            "sigma": params.sigma,
+            "num_special_primes": params.num_special_primes,
+            "ks_alpha": params.ks_alpha,
+            "secret_hamming_weight": params.secret_hamming_weight,
+            "primes": list(params.primes),
+        }
+        return cls(
+            params_dict=fields,
+            rotation_steps=tuple(program.required_rotation_steps()),
+            needs_conjugation=False,
+        )
+
+    def to_params(self):
+        """Reconstruct the exact CkksParameters of the manifest."""
+        from repro.ckks.params import CkksParameters, RingType
+
+        fields = dict(self.params_dict)
+        fields["ring_type"] = RingType(fields["ring_type"])
+        fields["primes"] = tuple(fields["primes"])
+        return CkksParameters(**fields)
+
+    def to_dict(self) -> Dict:
+        return {
+            "params": dict(self.params_dict),
+            "rotation_steps": list(self.rotation_steps),
+            "needs_conjugation": self.needs_conjugation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "KeyManifest":
+        return cls(
+            params_dict=dict(data["params"]),
+            rotation_steps=tuple(data["rotation_steps"]),
+            needs_conjugation=bool(data["needs_conjugation"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash (keys multi-tenant backend caches)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]

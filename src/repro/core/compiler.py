@@ -98,6 +98,19 @@ class CompiledNetwork:
             raise RuntimeError("network compiled in analyze mode; cannot execute")
         return self.program.run(backend, image)
 
+    def export(self, path: str, params: CkksParameters) -> "object":
+        """Serialize this compilation to a serving artifact on disk.
+
+        The artifact (``repro.serve.artifact``) carries the program,
+        weight-plaintext tables, layer reports, and the key manifest —
+        everything a serving worker needs to load and serve without ever
+        invoking the compiler or the placement planner again.  Returns
+        the written :class:`repro.serve.artifact.ServingArtifact`.
+        """
+        from repro.serve.artifact import save_artifact
+
+        return save_artifact(self, params, path)
+
     def summary(self) -> Dict[str, float]:
         return {
             "rotations": self.total_rotations,
@@ -112,6 +125,12 @@ class CompiledNetwork:
 
 class OrionCompiler:
     """Compiles one orion network for one parameter set."""
+
+    # Class-wide count of compile() calls.  The serving runtime's
+    # load-and-serve contract is "zero compiler invocations on the
+    # serve path"; tests and the serving benchmark assert this counter
+    # does not move while requests are served from an artifact.
+    invocations: int = 0
 
     def __init__(
         self,
@@ -135,6 +154,7 @@ class OrionCompiler:
     ) -> CompiledNetwork:
         import time
 
+        OrionCompiler.invocations += 1
         start = time.perf_counter()
         net.eval()
         graph = self._trace(net, input_shape)

@@ -64,6 +64,11 @@ class MultiplexedLayout:
     def logical_length(self) -> int:
         return self.channels * self.height * self.width
 
+    @property
+    def tensor_shape(self) -> tuple:
+        """Shape of the tensor :meth:`pack` expects."""
+        return (self.channels, self.height, self.width)
+
     # -- index mapping ---------------------------------------------------
     def slot(self, c, y, x):
         """Global slot index of logical element (c, y, x) (vectorized).
@@ -146,8 +151,16 @@ class VectorLayout:
         return max(1, ceil_div(self.length, self.slots))
 
     @property
+    def total_slots(self) -> int:
+        return self.length
+
+    @property
     def logical_length(self) -> int:
         return self.length
+
+    @property
+    def tensor_shape(self) -> tuple:
+        return (self.length,)
 
     def slot_of_logical(self, index):
         return np.asarray(index)
@@ -162,3 +175,83 @@ class VectorLayout:
 
     def unpack(self, vectors: list) -> np.ndarray:
         return np.concatenate(vectors)[: self.length]
+
+
+@dataclass(frozen=True)
+class BlockReplicatedLayout:
+    """``batch`` independent copies of a single-ciphertext layout.
+
+    The slot-batching economics of serving (docs/serving.md): a layout
+    occupying T <= n/B slots leaves its remaining capacity idle, so B
+    clients' tensors are placed in disjoint blocks of S = n/B slots
+    each.  Every packed linear layer whose single-client reads stay
+    inside [0, S) — guaranteed because reads always land inside the
+    input layout's occupied slots — then acts on all B blocks at once
+    when its diagonal vectors are block-replicated
+    (:meth:`repro.core.packing.matvec.PackedMatVec.batched`).
+
+    ``pack`` takes a stacked array whose leading dimension is the batch
+    (each entry shaped for the inner layout); ``unpack`` returns the
+    same stacked shape.
+    """
+
+    inner: object
+    batch: int
+    slots: int
+
+    def __post_init__(self):
+        if self.inner.num_ciphertexts != 1:
+            raise ValueError("block replication needs a single-ciphertext layout")
+        if self.slots % self.batch:
+            raise ValueError("batch must divide the slot count")
+        if self.inner.total_slots > self.block_slots:
+            raise ValueError(
+                f"layout occupies {self.inner.total_slots} slots > block "
+                f"size {self.block_slots} at batch {self.batch}"
+            )
+
+    @property
+    def block_slots(self) -> int:
+        return self.slots // self.batch
+
+    @property
+    def num_ciphertexts(self) -> int:
+        return 1
+
+    @property
+    def total_slots(self) -> int:
+        return self.slots
+
+    @property
+    def logical_length(self) -> int:
+        return self.batch * self.inner.logical_length
+
+    @property
+    def tensor_shape(self) -> tuple:
+        return (self.batch,) + tuple(self.inner.tensor_shape)
+
+    def pack(self, tensors) -> list:
+        tensors = np.asarray(tensors)
+        if tensors.shape[0] != self.batch:
+            raise ValueError(
+                f"expected a leading batch dimension of {self.batch}, "
+                f"got shape {tensors.shape}"
+            )
+        flat = np.zeros(self.slots)
+        step = self.block_slots
+        for j in range(self.batch):
+            flat[j * step : (j + 1) * step] = self.inner.pack(tensors[j])[0][:step]
+        return [flat]
+
+    def unpack(self, vectors: list) -> np.ndarray:
+        (flat,) = vectors
+        step = self.block_slots
+        outs = []
+        for j in range(self.batch):
+            padded = np.zeros(self.inner.slots)
+            padded[:step] = flat[j * step : (j + 1) * step]
+            outs.append(self.inner.unpack([padded]))
+        return np.stack(outs)
+
+    def __repr__(self) -> str:
+        return f"BlockReplicatedLayout(batch={self.batch}, inner={self.inner!r})"

@@ -44,7 +44,11 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from repro.core.packing.bsgs import BsgsPlan, plan_bsgs
-from repro.core.packing.layouts import MultiplexedLayout, VectorLayout
+from repro.core.packing.layouts import (
+    BlockReplicatedLayout,
+    MultiplexedLayout,
+    VectorLayout,
+)
 from repro.utils.intmath import int_log2, next_power_of_two
 
 
@@ -87,6 +91,9 @@ class PackedMatVec:
     # Cached subset-sum expansion of fold_shifts ("unset" = not yet
     # computed; None = subset sums collide, keep the sequential fold).
     _fold_steps: object = field(default="unset", repr=False, compare=False)
+    # Batched (block-replicated) views for serve-time slot batching,
+    # keyed by batch size (built lazily, shared across executions).
+    _batched: Dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- op-count queries (paper Tables 2-4) ---------------------------------
     def _babies_for_in_block(self, bi: int) -> List[int]:
@@ -160,6 +167,135 @@ class PackedMatVec:
         """Baby + giant rotations of the BSGS plan (folds excluded —
         they execute as real rotations and charge themselves)."""
         return self.rotation_count() - len(self.fold_shifts) * self.num_out
+
+    def required_rotation_steps(self) -> Tuple[int, ...]:
+        """Every rotation step any execution mode of this layer can ask
+        the backend for — the layer's contribution to an artifact's key
+        manifest (docs/serving.md).
+
+        Covers the fused path (composite offsets rotate the input
+        directly), the per-rotation BSGS fallback (babies + giants), and
+        both fold forms (sequential shifts and their subset-sum
+        expansion).  Identity rotations are never required.
+        """
+        steps = set()
+        for (_, bi), dmap in self.diags.items():
+            for offset in dmap:
+                giant, baby = self.plan.split(offset)
+                steps.update((offset % self.slots, baby, giant % self.slots))
+        steps.update(s % self.slots for s in self.fold_shifts)
+        expansion = self._fold_expansion()
+        if expansion:
+            steps.update(expansion)
+        return tuple(sorted(steps - {0}))
+
+    def batched(self, batch: int) -> "PackedMatVec":
+        """A view of this layer acting on ``batch`` block-replicated
+        clients packed into one ciphertext (serve-time slot batching).
+
+        Block-replicating every diagonal and bias vector into all B
+        blocks of S = slots/B slots makes the *same* rotation/multiply
+        schedule compute all clients at once: a diagonal's read at slot
+        s + off inside client j's block stays on client j's data because
+        single-client reads always land inside the input layout's
+        occupied slots (see ``BlockReplicatedLayout``).
+
+        Two Gazelle-hybrid adjustments keep each client self-contained:
+
+        - **Scratch relocation.**  Hybrid row replication writes some
+          partial products at wrapped positions near the ring top
+          (rows j = c - offset < 0 mod n).  Replicated naively those
+          would land in the *previous* client's block, so any scratch
+          position outside [0, S) moves to j mod S — still congruent to
+          its row modulo m2 (S is a multiple of m2), so the in-block
+          fold collects it correctly — and its diagonal offset grows by
+          the displacement (a whole number of blocks), which keeps the
+          read on the client's own slots.  Only fold layers can have
+          out-of-block scratch (plain layers write final outputs, which
+          fit the block by the layout check).
+        - **Fold truncation.**  Fold shifts spanning a whole block or
+          more are dropped; the surviving suffix (S/2 ... m2) folds each
+          client's row replicas inside its own block.
+
+        The batched instance re-plans BSGS over its (possibly enlarged)
+        offset set, shares nothing mutable with the original (fresh
+        plaintext caches), and is cached per batch size.
+        """
+        if batch == 1:
+            return self
+        cached = self._batched.get(batch)
+        if cached is not None:
+            return cached
+        if self.num_in != 1 or self.num_out != 1:
+            raise ValueError("slot batching requires a single-ciphertext layer")
+        if batch < 1 or self.slots % batch:
+            raise ValueError(f"batch {batch} must divide {self.slots} slots")
+        n = self.slots
+        block = n // batch
+        if self.out_layout.total_slots > block:
+            raise ValueError(
+                f"{self.name}: output occupies {self.out_layout.total_slots} "
+                f"slots > block size {block} at batch {batch}"
+            )
+        def replicate(vec: np.ndarray) -> np.ndarray:
+            """sum_j roll(vec, j*S) == tile of the block-folded vector."""
+            return np.tile(vec.reshape(batch, block).sum(axis=0), batch)
+
+        # new_offset -> {(out_block, in_block) -> out-position-indexed vector}
+        acc: Dict[int, Dict[Tuple[int, int], np.ndarray]] = {}
+        for (bo, bi), dmap in self.diags.items():
+            for offset, stored in dmap.items():
+                giant, _ = self.plan.split(offset)
+                orig = np.roll(stored, -giant) if giant else stored
+                # Split scratch by the block it falls in; relocate every
+                # out-of-block piece into [0, S) with a compensating
+                # whole-block offset shift (reads are unchanged:
+                # j'' + off'' == j + off mod n).
+                pieces = orig.reshape(batch, block)
+                for q in range(batch):
+                    piece = pieces[q]
+                    if not piece.any():
+                        continue
+                    if q and not self.fold_shifts:
+                        raise ValueError(
+                            f"{self.name}: scratch escapes its block at "
+                            f"batch {batch} and there is no fold to "
+                            "relocate under"
+                        )
+                    new_offset = (offset + q * block) % n
+                    relocated = np.zeros(n)
+                    relocated[:block] = piece
+                    by_block = acc.setdefault(new_offset, {})
+                    if (bo, bi) in by_block:
+                        by_block[(bo, bi)] = by_block[(bo, bi)] + relocated
+                    else:
+                        by_block[(bo, bi)] = relocated
+
+        plan = plan_bsgs(sorted(acc), n)
+        diags: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        for new_offset, by_block in acc.items():
+            giant, _ = plan.split(new_offset)
+            for (bo, bi), vec in by_block.items():
+                replicated = replicate(vec)
+                diags.setdefault((bo, bi), {})[new_offset] = (
+                    np.roll(replicated, giant) if giant else replicated
+                )
+        bias_vecs = None
+        if self.bias_vecs is not None:
+            bias_vecs = [replicate(vec) for vec in self.bias_vecs]
+        view = PackedMatVec(
+            slots=n,
+            num_in=self.num_in,
+            num_out=self.num_out,
+            diags=diags,
+            plan=plan,
+            out_layout=BlockReplicatedLayout(self.out_layout, batch, n),
+            fold_shifts=tuple(s for s in self.fold_shifts if s < block),
+            bias_vecs=bias_vecs,
+            name=f"{self.name}@x{batch}",
+        )
+        self._batched[batch] = view
+        return view
 
     def _fused_term_vectors(self) -> Dict:
         """Original diagonals for the fused path, keyed (bo, bi, offset).
@@ -255,10 +391,15 @@ class PackedMatVec:
         if per_backend is None:
             per_backend = {}
             self._pt_cache[backend] = per_backend
+        # All weight/zero/bias encodes are keyed by the backend's full
+        # encode fingerprint (level, scale, ks config) — the serve-many
+        # invariant that keeps a second request entering at a different
+        # level from hitting a stale encode.
+        cache_fp = backend.plaintext_cache_key(level, pt_scale)
         totals = None
         if hoisting == "double" and getattr(backend, "supports_fused_matvec", False):
             terms = self._fused_term_vectors()
-            pt_cache = per_backend.setdefault(("fused", level, pt_scale), {})
+            pt_cache = per_backend.setdefault(("fused",) + cache_fp, {})
             totals = backend.matvec_fused(
                 in_cts,
                 terms,
@@ -275,17 +416,19 @@ class PackedMatVec:
         outputs = []
         for bo, total in enumerate(totals):
             if total is None:
-                zero_pt = per_backend.get(("zero", level, pt_scale))
+                zero_pt = per_backend.get(("zero",) + cache_fp)
                 if zero_pt is None:
                     zero_pt = backend.encode(np.zeros(self.slots), level, pt_scale)
-                    per_backend[("zero", level, pt_scale)] = zero_pt
+                    per_backend[("zero",) + cache_fp] = zero_pt
                 total = backend.mul_plain(in_cts[0], zero_pt)
             total = backend.rescale(total)
             total = self._apply_folds(backend, total, hoisting, level)
             if self.bias_vecs is not None:
                 out_level = backend.level_of(total)
                 out_scale = backend.scale_of(total)
-                bias_key = ("bias", bo, out_level, out_scale)
+                bias_key = ("bias", bo) + backend.plaintext_cache_key(
+                    out_level, out_scale
+                )
                 bias_pt = per_backend.get(bias_key)
                 if bias_pt is None:
                     bias_pt = backend.encode(self.bias_vecs[bo], out_level, out_scale)
@@ -312,7 +455,9 @@ class PackedMatVec:
                 rotated[bi] = backend.rotate_hoisted(in_cts[bi], babies)
             else:
                 rotated[bi] = backend.rotate_group(in_cts[bi], babies, hoisting=hoisting)
-        pt_cache = per_backend.setdefault(("diag", level, pt_scale), {})
+        pt_cache = per_backend.setdefault(
+            ("diag",) + backend.plaintext_cache_key(level, pt_scale), {}
+        )
         totals = []
         for bo in range(self.num_out):
             acc_by_giant: Dict[int, object] = {}
@@ -341,6 +486,69 @@ class PackedMatVec:
             totals.append(total)
         return totals
 
+    # -- artifact serialization (docs/serving.md) ----------------------------
+    def to_payload(self, store) -> Dict:
+        """JSON-safe structure describing this layer; numpy arrays go
+        through ``store(array) -> ref`` (the artifact's array registry)
+        so the payload itself stays pure JSON."""
+        diag_groups = []
+        for (bo, bi), dmap in sorted(self.diags.items()):
+            # Keep the builder's offset order: cleartext execution
+            # accumulates in dict order, and bit-exact round-trips
+            # require the same float summation order.
+            offsets = list(dmap)
+            stacked = np.stack([dmap[off] for off in offsets])
+            diag_groups.append(
+                {"bo": bo, "bi": bi, "offsets": offsets, "vecs": store(stacked)}
+            )
+        return {
+            "slots": self.slots,
+            "num_in": self.num_in,
+            "num_out": self.num_out,
+            "name": self.name,
+            "plan": {
+                "n1": self.plan.n1,
+                "babies": list(self.plan.babies),
+                "giants": list(self.plan.giants),
+            },
+            "fold_shifts": list(self.fold_shifts),
+            "out_layout": layout_payload(self.out_layout),
+            "bias": None
+            if self.bias_vecs is None
+            else store(np.stack(self.bias_vecs)),
+            "diags": diag_groups,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict, fetch) -> "PackedMatVec":
+        """Inverse of :meth:`to_payload`; ``fetch(ref)`` returns the
+        stored array bit-exactly."""
+        diags: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        for group in payload["diags"]:
+            stacked = fetch(group["vecs"])
+            diags[(group["bo"], group["bi"])] = {
+                int(off): stacked[i] for i, off in enumerate(group["offsets"])
+            }
+        bias_vecs = None
+        if payload["bias"] is not None:
+            bias_vecs = list(fetch(payload["bias"]))
+        plan = BsgsPlan(
+            n1=payload["plan"]["n1"],
+            babies=tuple(payload["plan"]["babies"]),
+            giants=tuple(payload["plan"]["giants"]),
+        )
+        return cls(
+            slots=payload["slots"],
+            num_in=payload["num_in"],
+            num_out=payload["num_out"],
+            diags=diags,
+            plan=plan,
+            out_layout=layout_from_payload(payload["out_layout"]),
+            fold_shifts=tuple(payload["fold_shifts"]),
+            bias_vecs=bias_vecs,
+            name=payload["name"],
+        )
+
     def execute_cleartext(self, in_vecs: List[np.ndarray]) -> List[np.ndarray]:
         """Reference execution with plain numpy (validates packing)."""
         outputs = []
@@ -360,6 +568,37 @@ class PackedMatVec:
                 acc = acc + self.bias_vecs[bo]
             outputs.append(acc)
         return outputs
+
+
+def layout_payload(layout) -> Dict:
+    """JSON description of a packing layout (artifact serialization)."""
+    if isinstance(layout, MultiplexedLayout):
+        return {
+            "kind": "multiplexed",
+            "channels": layout.channels,
+            "height": layout.height,
+            "width": layout.width,
+            "gap": layout.gap,
+            "slots": layout.slots,
+        }
+    if isinstance(layout, VectorLayout):
+        return {"kind": "vector", "length": layout.length, "slots": layout.slots}
+    raise TypeError(f"cannot serialize layout {type(layout).__name__}")
+
+
+def layout_from_payload(payload: Dict):
+    kind = payload["kind"]
+    if kind == "multiplexed":
+        return MultiplexedLayout(
+            channels=payload["channels"],
+            height=payload["height"],
+            width=payload["width"],
+            gap=payload["gap"],
+            slots=payload["slots"],
+        )
+    if kind == "vector":
+        return VectorLayout(length=payload["length"], slots=payload["slots"])
+    raise ValueError(f"unknown layout kind {kind!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -174,6 +174,7 @@ def solve_placement(
         entry_level: fix the input ciphertext level; default: the
             planner chooses (paper Fig. 6b considers every input node).
     """
+    solve_placement.invocations += 1
     start = time.perf_counter()
     solved = _solve_chain(chain, l_eff, boot_cost)
     matrix = solved.matrix
@@ -203,3 +204,9 @@ def solve_placement(
         exit_level=o_star,
         solve_seconds=elapsed,
     )
+
+
+# Planner-invocation counter: the serving runtime's "zero planner calls
+# on the serve path" contract is asserted against this (see
+# OrionCompiler.invocations for the compiler-level counter).
+solve_placement.invocations = 0

@@ -16,7 +16,7 @@ on Delta, whatever s_in the preceding activation produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Dict, List, Optional
 
@@ -24,11 +24,21 @@ import numpy as np
 
 from repro.core.approx.chebyshev import ChebyshevPoly
 from repro.core.approx.evaluator import evaluate_chebyshev
-from repro.core.packing.matvec import PackedMatVec
+from repro.core.packing.layouts import BlockReplicatedLayout
+from repro.core.packing.matvec import (
+    PackedMatVec,
+    layout_from_payload,
+    layout_payload,
+)
 
 
 class ExecutionState:
-    """Registers and backend for one inference."""
+    """Registers and backend for one inference.
+
+    Serving reuses one state object per worker: :meth:`reset` clears the
+    registers between requests without touching the backend (whose
+    plaintext caches and ledger must persist across requests).
+    """
 
     def __init__(self, backend):
         self.backend = backend
@@ -39,6 +49,10 @@ class ExecutionState:
 
     def set(self, uid: int, cts: List) -> None:
         self.registers[uid] = cts
+
+    def reset(self) -> None:
+        """Drop all registers so the state can serve the next request."""
+        self.registers.clear()
 
     # -- helpers shared by instructions -----------------------------------
     def apply_bootstraps(self, uid: int) -> None:
@@ -233,22 +247,245 @@ class FheProgram:
     input_norm: float
     output_denorm: float
     entry_level: int
+    # Batched (slot-replicated) views for serving, keyed by batch size.
+    _batched: Dict[int, "FheProgram"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
-    def run(self, backend, image: np.ndarray) -> np.ndarray:
-        """Encrypt, execute, decrypt one input tensor (C, H, W)."""
-        state = ExecutionState(backend)
+    def encrypt_input(self, backend, image: np.ndarray) -> List:
+        """Normalize, pack, and encrypt one input at the entry level."""
         vectors = self.input_layout.pack(np.asarray(image) / self.input_norm)
-        cts = [
+        return [
             backend.encrypt(
                 backend.encode(vec, self.entry_level, backend.params.scale)
             )
             for vec in vectors
         ]
-        state.set(self.input_uid, cts)
+
+    def execute(self, state: ExecutionState, input_cts: List) -> List:
+        """Run all instructions over pre-encrypted inputs; returns the
+        output register (the state may be a reused, reset worker state)."""
+        state.set(self.input_uid, input_cts)
         for instr in self.instructions:
             instr.execute(state)
-        out_vecs = [backend.decrypt(ct) for ct in state.get(self.output_uid)]
+        return state.get(self.output_uid)
+
+    def decrypt_output(self, backend, output_cts: List) -> np.ndarray:
+        out_vecs = [backend.decrypt(ct) for ct in output_cts]
         return self.output_layout.unpack(out_vecs) * self.output_denorm
+
+    def run(self, backend, image: np.ndarray) -> np.ndarray:
+        """Encrypt, execute, decrypt one input tensor (C, H, W)."""
+        state = ExecutionState(backend)
+        cts = self.encrypt_input(backend, image)
+        outs = self.execute(state, cts)
+        return self.decrypt_output(backend, outs)
+
+    # -- serving hooks ------------------------------------------------------
+    def required_rotation_steps(self, include_batched: bool = True) -> List[int]:
+        """Every rotation step execution can request from the backend —
+        the program's key manifest contribution (docs/serving.md).
+
+        With ``include_batched`` (the default) the union also covers
+        every power-of-two slot-batched view up to the program's
+        capacity — batched Gazelle-hybrid layers relocate wrapped
+        scratch rows into extra diagonal offsets, so a server batching
+        requests must hold those keys too (no lazy keygen on the
+        request path).  Bootstraps are excluded: the oracle refresh
+        rotates nothing, and a real pipeline owns its own transform
+        keys.
+        """
+        steps = set()
+        for instr in self.instructions:
+            if isinstance(instr, LinearInstr):
+                steps.update(instr.packed.required_rotation_steps())
+        if include_batched:
+            batch = 2
+            while batch <= self.slot_batch_capacity():
+                for instr in self.batched(batch).instructions:
+                    if isinstance(instr, LinearInstr):
+                        steps.update(instr.packed.required_rotation_steps())
+                batch *= 2
+        return sorted(steps)
+
+    def slot_batch_capacity(self) -> int:
+        """Largest power-of-two client count one ciphertext can carry.
+
+        The batched view places each client in a block of n/B slots, so
+        every register's layout must be single-ciphertext and fit one
+        block.  Returns 1 when the program cannot batch (multi-
+        ciphertext registers or a full ciphertext already).
+        """
+        from repro.utils.intmath import next_power_of_two
+
+        slots = self.input_layout.slots
+        occupied = [self.input_layout]
+        occupied += [
+            instr.packed.out_layout
+            for instr in self.instructions
+            if isinstance(instr, LinearInstr)
+        ]
+        if any(layout.num_ciphertexts != 1 for layout in occupied):
+            return 1
+        required = max(layout.total_slots for layout in occupied)
+        return max(1, slots // next_power_of_two(required))
+
+    def batched(self, batch: int) -> "FheProgram":
+        """The same network over ``batch`` clients packed into one
+        ciphertext (cross-request SIMD slot batching; docs/serving.md).
+
+        Linear layers swap in their block-replicated views; elementwise
+        activations and joins are batch-transparent.  ``run`` on the
+        returned program takes a stacked ``(batch, C, H, W)`` input and
+        returns stacked per-client outputs.  Views are cached, so the
+        weight-plaintext caches inside the batched layers persist across
+        requests just like the single-shot ones.
+        """
+        if batch == 1:
+            return self
+        cached = self._batched.get(batch)
+        if cached is not None:
+            return cached
+        capacity = self.slot_batch_capacity()
+        if batch > capacity:
+            raise ValueError(
+                f"batch {batch} exceeds this program's slot capacity {capacity}"
+            )
+        slots = self.input_layout.slots
+        instructions = []
+        for instr in self.instructions:
+            if isinstance(instr, LinearInstr):
+                instructions.append(
+                    replace(instr, packed=instr.packed.batched(batch))
+                )
+            else:
+                instructions.append(replace(instr))
+        view = FheProgram(
+            instructions=instructions,
+            input_uid=self.input_uid,
+            output_uid=self.output_uid,
+            input_layout=BlockReplicatedLayout(self.input_layout, batch, slots),
+            output_layout=BlockReplicatedLayout(self.output_layout, batch, slots),
+            input_norm=self.input_norm,
+            output_denorm=self.output_denorm,
+            entry_level=self.entry_level,
+        )
+        self._batched[batch] = view
+        return view
+
+    # -- artifact serialization (docs/serving.md) ----------------------------
+    def to_payload(self, store) -> Dict:
+        """JSON-safe structure for the artifact store.
+
+        ``store(array) -> ref`` registers numpy payloads (diagonal
+        tables, biases) with the artifact's array registry; everything
+        else — uids, levels, Chebyshev coefficients, layouts — is plain
+        JSON, so the format is inspectable and versionable.
+        """
+        instrs = []
+        for instr in self.instructions:
+            entry = {
+                "name": instr.name,
+                "out_uid": instr.out_uid,
+                "exec_level": instr.exec_level,
+                "boots_before": instr.boots_before,
+            }
+            if isinstance(instr, LinearInstr):
+                entry["kind"] = "linear"
+                entry["in_uid"] = instr.in_uid
+                entry["packed"] = instr.packed.to_payload(store)
+            elif isinstance(instr, PolyInstr):
+                entry["kind"] = "poly"
+                entry["in_uid"] = instr.in_uid
+                entry["coeffs"] = list(instr.poly.coeffs)
+                entry["target_kind"] = instr.target_kind
+            elif isinstance(instr, SquareInstr):
+                entry["kind"] = "square"
+                entry["in_uid"] = instr.in_uid
+            elif isinstance(instr, MultJoinInstr):
+                entry["kind"] = "multjoin"
+                entry["x_uid"] = instr.x_uid
+                entry["sign_uid"] = instr.sign_uid
+            elif isinstance(instr, AddJoinInstr):
+                entry["kind"] = "addjoin"
+                entry["a_uid"] = instr.a_uid
+                entry["b_uid"] = instr.b_uid
+            elif isinstance(instr, AliasInstr):
+                entry["kind"] = "alias"
+                entry["in_uid"] = instr.in_uid
+            else:
+                raise TypeError(
+                    f"cannot serialize instruction {type(instr).__name__}"
+                )
+            instrs.append(entry)
+        return {
+            "input_uid": self.input_uid,
+            "output_uid": self.output_uid,
+            "entry_level": self.entry_level,
+            "input_norm": self.input_norm,
+            "output_denorm": self.output_denorm,
+            "input_layout": layout_payload(self.input_layout),
+            "output_layout": layout_payload(self.output_layout),
+            "instructions": instrs,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict, fetch) -> "FheProgram":
+        """Rebuild a program saved by :meth:`to_payload` (bit-exact:
+        float norms round-trip through JSON's repr, arrays through the
+        artifact's npz registry)."""
+        instructions: List[Instruction] = []
+        for entry in payload["instructions"]:
+            kind = entry["kind"]
+            common = dict(
+                name=entry["name"],
+                out_uid=entry["out_uid"],
+                exec_level=entry["exec_level"],
+                boots_before=entry["boots_before"],
+            )
+            if kind == "linear":
+                instructions.append(
+                    LinearInstr(
+                        in_uid=entry["in_uid"],
+                        packed=PackedMatVec.from_payload(entry["packed"], fetch),
+                        **common,
+                    )
+                )
+            elif kind == "poly":
+                instructions.append(
+                    PolyInstr(
+                        in_uid=entry["in_uid"],
+                        poly=ChebyshevPoly(tuple(entry["coeffs"])),
+                        target_kind=entry["target_kind"],
+                        **common,
+                    )
+                )
+            elif kind == "square":
+                instructions.append(SquareInstr(in_uid=entry["in_uid"], **common))
+            elif kind == "multjoin":
+                instructions.append(
+                    MultJoinInstr(
+                        x_uid=entry["x_uid"], sign_uid=entry["sign_uid"], **common
+                    )
+                )
+            elif kind == "addjoin":
+                instructions.append(
+                    AddJoinInstr(a_uid=entry["a_uid"], b_uid=entry["b_uid"], **common)
+                )
+            elif kind == "alias":
+                instructions.append(AliasInstr(in_uid=entry["in_uid"], **common))
+            else:
+                raise ValueError(f"unknown instruction kind {kind!r}")
+        return cls(
+            instructions=instructions,
+            input_uid=payload["input_uid"],
+            output_uid=payload["output_uid"],
+            input_layout=layout_from_payload(payload["input_layout"]),
+            output_layout=layout_from_payload(payload["output_layout"]),
+            input_norm=payload["input_norm"],
+            output_denorm=payload["output_denorm"],
+            entry_level=payload["entry_level"],
+        )
 
     def run_cleartext_packed(self, image: np.ndarray) -> np.ndarray:
         """Reference: run the packed linear algebra without encryption.

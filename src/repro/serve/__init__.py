@@ -1,0 +1,41 @@
+"""repro.serve: the compile-once / serve-many encrypted inference runtime.
+
+The layer above :class:`repro.core.compiler.OrionCompiler` and
+:class:`repro.core.program.FheProgram` that the ROADMAP's production
+north star needs (docs/serving.md):
+
+- :mod:`repro.serve.artifact` — a versioned on-disk artifact holding a
+  compiled program, its weight-plaintext tables, and the key manifest,
+  so a model compiles once and every worker loads the artifact instead
+  of re-running the planner;
+- :mod:`repro.serve.scheduler` — cross-request SIMD slot batching: a
+  queue that coalesces pending requests into the unused slot blocks of
+  one ciphertext and runs the *same* program once for all of them;
+- :mod:`repro.serve.keys` — a multi-tenant key registry generating
+  exactly the key material an artifact's manifest declares;
+- :mod:`repro.serve.runtime` — the :class:`InferenceServer` worker loop
+  tying the three together, with per-request telemetry merged into the
+  operation ledger.
+"""
+
+from repro.serve.artifact import (
+    ArtifactSchemaError,
+    ServingArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serve.keys import KeyRegistry
+from repro.serve.runtime import InferenceServer, ServeResult
+from repro.serve.scheduler import PendingRequest, SlotBatchingScheduler
+
+__all__ = [
+    "ArtifactSchemaError",
+    "ServingArtifact",
+    "load_artifact",
+    "save_artifact",
+    "KeyRegistry",
+    "InferenceServer",
+    "ServeResult",
+    "PendingRequest",
+    "SlotBatchingScheduler",
+]

@@ -1,0 +1,331 @@
+"""The serving artifact store: compile once, serve from disk forever.
+
+A :class:`ServingArtifact` is a single ``.npz`` file containing
+
+- a JSON manifest (``__manifest__``) with a **schema version**, the
+  serialized :class:`repro.core.program.FheProgram` (instructions,
+  placement decisions, layouts, norms), the layer reports and compile
+  summary, and the :class:`repro.ckks.keys.KeyManifest` naming the exact
+  parameter set and Galois steps execution will request;
+- the weight-plaintext tables as raw numpy payloads (diagonal vectors,
+  biases — float64, bit-exact round-trip);
+- optionally, the tables **pre-encoded** into RNS plaintext polynomials
+  at the exact (level, scale) each layer executes at, so a worker can
+  seed its backend's caches before the first request ever arrives.
+
+Keys are deliberately absent: they are per-client secrets, produced on
+the client side (or by :class:`repro.serve.keys.KeyRegistry` acting for
+one) from the key manifest.
+
+Loading never invokes the compiler or the placement planner — the
+"zero compiler invocations on the serve path" contract asserted by
+``tests/test_serve.py`` and ``benchmarks/bench_serving_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ckks.keys import KeyManifest
+from repro.core.program import FheProgram, LinearInstr
+
+SCHEMA_VERSION = 1
+FORMAT_NAME = "repro-serving-artifact"
+
+
+class ArtifactSchemaError(ValueError):
+    """Raised when an artifact's schema version or format is wrong."""
+
+
+class _ArrayStore:
+    """Assigns stable refs to numpy payloads destined for the npz."""
+
+    def __init__(self):
+        self.arrays: Dict[str, np.ndarray] = {}
+
+    def __call__(self, array: np.ndarray) -> str:
+        ref = f"a{len(self.arrays)}"
+        self.arrays[ref] = np.asarray(array)
+        return ref
+
+
+class ServingArtifact:
+    """An on-disk compilation, loaded (or about to be written).
+
+    Attributes:
+        manifest: the key manifest (parameters + required Galois steps).
+        program: the executable program, placement decisions included.
+        layer_reports: per-layer compile stats (rotations, pmults, ...).
+        summary: the compile summary (depth, bootstraps, modeled time).
+        encoded: optional pre-encoded plaintext tables, as written by
+            :func:`save_artifact` (see :meth:`preload`).
+    """
+
+    def __init__(
+        self,
+        manifest: KeyManifest,
+        program: FheProgram,
+        layer_reports: List[Dict],
+        summary: Dict,
+        encoded: Optional[List[Dict]] = None,
+    ):
+        self.manifest = manifest
+        self.program = program
+        self.layer_reports = layer_reports
+        self.summary = summary
+        self.encoded = encoded
+
+    # -- capacity ----------------------------------------------------------
+    def slot_batch_capacity(self) -> int:
+        return self.program.slot_batch_capacity()
+
+    # -- cache warm-up ------------------------------------------------------
+    def preload(self, backend) -> int:
+        """Seed ``backend``'s weight-plaintext caches from the artifact's
+        pre-encoded tables; returns the number of plaintexts installed.
+
+        Entries are installed under the backend's full encode
+        fingerprint (level, scale, ks_alpha, prime chain), so a backend
+        built for different parameters simply — and loudly — cannot
+        consume them.
+        """
+        if not self.encoded:
+            return 0
+        from repro.ckks.ciphertext import Plaintext
+        from repro.rns.poly import RnsPolynomial
+
+        context = getattr(backend, "context", None)
+        if context is None:
+            return 0  # functional backends encode for free
+        if tuple(backend.params.primes) != tuple(
+            self.manifest.params_dict["primes"]
+        ):
+            raise ValueError(
+                "backend parameters do not match the artifact's key manifest"
+            )
+        linears = [
+            instr
+            for instr in self.program.instructions
+            if isinstance(instr, LinearInstr)
+        ]
+        by_name = {instr.name: instr for instr in linears}
+        installed = 0
+        for section in self.encoded:
+            instr = by_name.get(section["name"])
+            if instr is None:
+                continue
+            level = section["level"]
+            pt_scale = Fraction(section["pt_scale"][0], section["pt_scale"][1])
+            fp = backend.plaintext_cache_key(level, pt_scale)
+            ks_chain = context._ks_chain(level)
+            data_primes = context._data_chain(level)
+            packed = instr.packed
+            per_backend = packed._pt_cache.get(backend)
+            if per_backend is None:
+                per_backend = {}
+                packed._pt_cache[backend] = per_backend
+            cache = per_backend.setdefault(("fused",) + fp, {})
+            for term in section["terms"]:
+                poly = RnsPolynomial(
+                    context.basis, data_primes, term["data"], is_ntt=True
+                )
+                pt = Plaintext(
+                    poly=poly,
+                    level=level,
+                    scale=pt_scale,
+                    slot_count=backend.slot_count,
+                )
+                pt_ext = (
+                    poly.extend_primes(ks_chain).data if term["off"] else None
+                )
+                cache[(term["bo"], term["bi"], term["off"], fp)] = (pt, pt_ext)
+                installed += 1
+        return installed
+
+    # -- io ----------------------------------------------------------------
+    def save(self, path: str) -> str:
+        store = _ArrayStore()
+        manifest_doc = {
+            "format": FORMAT_NAME,
+            "schema_version": SCHEMA_VERSION,
+            "key_manifest": self.manifest.to_dict(),
+            "program": self.program.to_payload(store),
+            "layer_reports": self.layer_reports,
+            "summary": self.summary,
+            "encoded": None,
+        }
+        if self.encoded is not None:
+            manifest_doc["encoded"] = [
+                {
+                    "name": section["name"],
+                    "level": section["level"],
+                    "pt_scale": section["pt_scale"],
+                    "terms": [
+                        {
+                            "bo": term["bo"],
+                            "bi": term["bi"],
+                            "off": term["off"],
+                            "data": store(term["data"]),
+                        }
+                        for term in section["terms"]
+                    ],
+                }
+                for section in self.encoded
+            ]
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            __manifest__=np.frombuffer(
+                json.dumps(manifest_doc).encode("utf-8"), dtype=np.uint8
+            ),
+            **store.arrays,
+        )
+        with open(path, "wb") as f:
+            f.write(buffer.getvalue())
+        return path
+
+
+def save_artifact(compiled, params, path: str) -> ServingArtifact:
+    """Serialize a :class:`repro.core.compiler.CompiledNetwork`.
+
+    Pre-encodes every fused weight-plaintext table at the exact
+    (level, scale) it executes at — discovered by tracing one dummy
+    inference through the exact-scale functional simulator, which is
+    how runtime scales are defined — whenever the parameter set fits
+    the exact toy backend's NTT bound (sub-32-bit primes).
+    """
+    if compiled.program is None:
+        raise ValueError("cannot export a network compiled in analyze mode")
+    program = compiled.program
+    manifest = KeyManifest.for_program(params, program)
+    reports = [
+        {
+            "name": r.name,
+            "kind": r.kind,
+            "rotations": r.rotations,
+            "pmults": r.pmults,
+            "depth": r.depth,
+            "num_cts": r.num_cts,
+        }
+        for r in compiled.layer_reports
+    ]
+    encoded = None
+    if max(params.primes) < 2**31:
+        encoded = _pre_encode_tables(program, params)
+    artifact = ServingArtifact(
+        manifest=manifest,
+        program=program,
+        layer_reports=reports,
+        summary=compiled.summary(),
+        encoded=encoded,
+    )
+    artifact.save(path)
+    return artifact
+
+
+def _pre_encode_tables(program: FheProgram, params) -> List[Dict]:
+    """Encode every linear layer's fused diagonal table into RNS
+    plaintext polynomials at its runtime (level, scale).
+
+    The runtime scale of each layer depends on what the preceding
+    activation produced (paper Section 6's errorless policy encodes
+    weights at q_l * Delta / s_in), so the (level, scale) pairs are
+    *observed* by running one dummy input through the exact-scale
+    simulator rather than re-derived here.  Encoding itself needs no
+    keys — only the ring and prime chain.
+    """
+    from repro.backend.sim import SimBackend
+    from repro.ckks.context import CkksContext
+    from repro.ckks.params import RingType
+
+    if params.ring_type is not RingType.STANDARD:
+        return None
+    sim = SimBackend(params, noise_free=True)
+    program.run(sim, np.zeros(program.input_layout.tensor_shape))
+    # An encode-only context: CkksContext generates keys too, but at
+    # artifact-export scale that one-time cost is irrelevant and it
+    # guarantees the encoder/basis match the toy backend bit for bit.
+    context = CkksContext(params, seed=0)
+    sections: List[Dict] = []
+    for instr in program.instructions:
+        if not isinstance(instr, LinearInstr):
+            continue
+        packed = instr.packed
+        per_backend = packed._pt_cache.get(sim)
+        if not per_backend:
+            continue
+        fused_keys = [key for key in per_backend if key[0] == "fused"]
+        if not fused_keys:
+            continue
+        (_, level, pt_scale, *_rest) = fused_keys[0]
+        terms = []
+        for (bo, bi, off), vec in sorted(packed._fused_term_vectors().items()):
+            pt = context.encode(vec, level=level, scale=pt_scale)
+            terms.append({"bo": bo, "bi": bi, "off": off, "data": pt.poly.data})
+        sections.append(
+            {
+                "name": instr.name,
+                "level": level,
+                "pt_scale": [pt_scale.numerator, pt_scale.denominator],
+                "terms": terms,
+            }
+        )
+    return sections
+
+
+def load_artifact(path: str) -> ServingArtifact:
+    """Load an artifact; fails loudly on any schema mismatch."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        if "__manifest__" not in data:
+            raise ArtifactSchemaError(f"{path}: not a serving artifact")
+        manifest_doc = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
+        if manifest_doc.get("format") != FORMAT_NAME:
+            raise ArtifactSchemaError(
+                f"{path}: unknown format {manifest_doc.get('format')!r}"
+            )
+        version = manifest_doc.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ArtifactSchemaError(
+                f"{path}: schema version {version!r} is not supported "
+                f"(this build reads version {SCHEMA_VERSION}); "
+                "re-export the artifact"
+            )
+        arrays = {key: data[key] for key in data.files if key != "__manifest__"}
+    program = FheProgram.from_payload(
+        manifest_doc["program"], lambda ref: arrays[ref]
+    )
+    encoded = None
+    if manifest_doc.get("encoded") is not None:
+        encoded = [
+            {
+                "name": section["name"],
+                "level": section["level"],
+                "pt_scale": tuple(section["pt_scale"]),
+                "terms": [
+                    {
+                        "bo": term["bo"],
+                        "bi": term["bi"],
+                        "off": term["off"],
+                        "data": arrays[term["data"]],
+                    }
+                    for term in section["terms"]
+                ],
+            }
+            for section in manifest_doc["encoded"]
+        ]
+    return ServingArtifact(
+        manifest=KeyManifest.from_dict(manifest_doc["key_manifest"]),
+        program=program,
+        layer_reports=manifest_doc["layer_reports"],
+        summary=manifest_doc["summary"],
+        encoded=encoded,
+    )

@@ -1,0 +1,105 @@
+"""Multi-tenant key material for serving, driven by the key manifest.
+
+An artifact names its exact parameter set and the Galois steps its
+program will request (:class:`repro.ckks.keys.KeyManifest`).  The
+:class:`KeyRegistry` turns that manifest into per-client backends:
+each client gets its own secret/rotation keys (generated once, eagerly,
+from the manifest — never lazily on the request path), cached under
+``(manifest fingerprint, client id)`` and evicted LRU.
+
+Slot batching operates *within* one client's key domain: a batched
+ciphertext is encrypted under a single key, so only requests sharing a
+backend coalesce (the runtime enforces this).  Different tenants are
+isolated by construction — separate secrets, separate backends,
+separate plaintext caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from repro.ckks.keys import KeyManifest
+
+
+def default_backend_factory(params, seed: int):
+    """Exact toy backend when the primes fit its NTT bound; the
+    functional simulator (keyless) otherwise."""
+    if max(params.primes) < 2**31:
+        from repro.backend.toy import ToyBackend
+
+        return ToyBackend(params, seed=seed)
+    from repro.backend.sim import SimBackend
+
+    return SimBackend(params, seed=seed)
+
+
+class KeyRegistry:
+    """Per-client backend/key cache keyed by the artifact's manifest.
+
+    Args:
+        manifest: the artifact's key manifest.
+        backend_factory: ``(params, seed) -> FheBackend``; defaults to
+            the exact toy backend for toy-sized primes.
+        max_clients: LRU capacity (multi-tenant memory bound).
+    """
+
+    def __init__(
+        self,
+        manifest: KeyManifest,
+        backend_factory: Optional[Callable] = None,
+        max_clients: int = 16,
+    ):
+        if max_clients < 1:
+            raise ValueError("max_clients must be at least 1")
+        self.manifest = manifest
+        self.params = manifest.to_params()
+        self.backend_factory = backend_factory or default_backend_factory
+        self.max_clients = max_clients
+        self._fingerprint = manifest.fingerprint()
+        self._clients: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        self.keygen_count = 0
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def backend_for(self, client_id: str, seed: Optional[int] = None):
+        """The client's backend, with the manifest's keys pre-generated.
+
+        The first call for a client performs keygen (secret, relin,
+        and exactly the manifest's rotation keys); later calls return
+        the cached backend so its plaintext caches keep paying off.
+        """
+        key = (self._fingerprint, client_id)
+        backend = self._clients.get(key)
+        if backend is not None:
+            self._clients.move_to_end(key)
+            return backend
+        if seed is None:
+            # Stable, collision-resistant per-client seed (builtin
+            # hash() is process-randomized and 2^31-collision-prone —
+            # unacceptable for tenant key derivation).
+            digest = hashlib.sha256(
+                f"{self._fingerprint}/{client_id}".encode()
+            ).digest()
+            seed = int.from_bytes(digest[:4], "big") % (2**31)
+        backend = self.backend_factory(self.params, seed)
+        self._prepare(backend)
+        self.keygen_count += 1
+        self._clients[key] = backend
+        while len(self._clients) > self.max_clients:
+            self._clients.popitem(last=False)
+        return backend
+
+    def _prepare(self, backend) -> None:
+        context = getattr(backend, "context", None)
+        if context is None:
+            return  # functional backends hold no key material
+        context.generate_rotation_keys(self.manifest.rotation_steps)
+        if self.manifest.needs_conjugation:
+            context.galois_key(context.encoder.conjugation_exponent)
+
+    def evict(self, client_id: str) -> bool:
+        """Drop a client's keys (tenant offboarding); True if present."""
+        return self._clients.pop((self._fingerprint, client_id), None) is not None

@@ -1,0 +1,245 @@
+"""The inference server: a worker loop over reusable execution state.
+
+Ties the serving pieces together (docs/serving.md):
+
+- loads a program from a :class:`repro.serve.artifact.ServingArtifact`
+  (never invoking the compiler — the construction-time counters are
+  snapshotted so tests can assert exactly that);
+- owns one *pool* backend (a single key domain: slot batching packs
+  several requests into one ciphertext, which is only meaningful under
+  one encryption key — cross-tenant isolation lives in
+  :class:`repro.serve.keys.KeyRegistry`);
+- drives a :class:`repro.serve.scheduler.SlotBatchingScheduler`,
+  executing due batches through the program's block-replicated views
+  and de-multiplexing per-client outputs;
+- attributes cost to requests: every run executes under a scratch
+  :class:`repro.backend.ledger.OpLedger` that is merged into the
+  server's cumulative ledger afterwards, while per-op and per-request
+  latency histograms accumulate the serving telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.backend.ledger import LatencyHistogram, OpLedger
+from repro.core.program import ExecutionState
+from repro.serve.scheduler import Batch, SlotBatchingScheduler
+
+
+@dataclass
+class ServeResult:
+    """One completed request."""
+
+    ticket: int
+    client_id: str
+    output: np.ndarray
+    batch_size: int
+    reason: str
+    wall_seconds: float
+    modeled_seconds: float
+
+
+class InferenceServer:
+    """Compile-once / serve-many worker over one key domain.
+
+    Args:
+        artifact: a loaded :class:`ServingArtifact` (or anything with
+            ``program``/``summary``/``preload`` in its shape).
+        backend: the pool backend requests are encrypted under.
+        batching: enable cross-request slot batching.
+        max_batch: cap on the batch size (defaults to the program's
+            slot capacity).
+        max_wait_seconds: default latency budget per request.
+        preload: seed the backend's plaintext caches from the
+            artifact's pre-encoded tables at construction.
+    """
+
+    def __init__(
+        self,
+        artifact,
+        backend,
+        batching: bool = True,
+        max_batch: Optional[int] = None,
+        max_wait_seconds: float = 0.05,
+        preload: bool = True,
+    ):
+        from repro.core.compiler import OrionCompiler
+        from repro.core.placement.planner import solve_placement
+
+        self.artifact = artifact
+        self.program = artifact.program
+        self.backend = backend
+        capacity = 1
+        if batching:
+            capacity = self.program.slot_batch_capacity()
+            if max_batch is not None:
+                if max_batch < 1:
+                    raise ValueError("max_batch must be at least 1")
+                # Batch sizes must be powers of two (block replication
+                # divides the slot count), so floor the cap to one.
+                capacity = min(
+                    capacity, 1 << (max_batch.bit_length() - 1)
+                )
+        self.scheduler = SlotBatchingScheduler(
+            capacity=capacity,
+            modeled_run_seconds=float(artifact.summary.get("modeled_seconds", 0.0)),
+            max_wait_seconds=max_wait_seconds,
+        )
+        self.state = ExecutionState(backend)
+        self.ledger = OpLedger()
+        self.request_latency = LatencyHistogram()
+        self.op_histograms: Dict[str, LatencyHistogram] = {}
+        self.requests_served = 0
+        self.batches_run = 0
+        self.preloaded_plaintexts = (
+            artifact.preload(backend) if preload else 0
+        )
+        # Serve-path purity: neither the compiler nor the placement
+        # planner may run while this server lives.
+        self._compiler_invocations_at_load = OrionCompiler.invocations
+        self._planner_invocations_at_load = solve_placement.invocations
+
+    # -- serve-path purity ---------------------------------------------------
+    @property
+    def compilations_since_load(self) -> int:
+        from repro.core.compiler import OrionCompiler
+
+        return OrionCompiler.invocations - self._compiler_invocations_at_load
+
+    @property
+    def placements_since_load(self) -> int:
+        from repro.core.placement.planner import solve_placement
+
+        return solve_placement.invocations - self._planner_invocations_at_load
+
+    # -- warm-up -------------------------------------------------------------
+    def warm(self, batch_sizes=None) -> None:
+        """Run a zeros inference through the given execution shapes so
+        galois keys and weight-plaintext caches are populated before the
+        first real request (off the books: nothing is recorded)."""
+        if batch_sizes is None:
+            batch_sizes = (1, self.scheduler.capacity)
+        shape = self.program.input_layout.tensor_shape
+        scratch = OpLedger()
+        main_ledger = self.backend.ledger
+        self.backend.ledger = scratch
+        try:
+            for size in sorted(set(batch_sizes)):
+                program = self.program.batched(size)
+                dummy = np.zeros(shape) if size == 1 else np.zeros((size,) + shape)
+                program.run(self.backend, dummy)
+        finally:
+            self.backend.ledger = main_ledger
+
+    # -- request intake ------------------------------------------------------
+    def submit(
+        self,
+        image: np.ndarray,
+        client_id: str = "anon",
+        now: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Enqueue a request; returns its ticket."""
+        request = self.scheduler.submit(client_id, image, now=now, deadline=deadline)
+        return request.ticket
+
+    def serve_now(self, image: np.ndarray, client_id: str = "anon") -> ServeResult:
+        """Run one request immediately, bypassing the queue."""
+        request = self.scheduler.submit(client_id, image)
+        self.scheduler.queue.remove(request)
+        return self._run_batch(Batch(requests=[request], reason="single"))[0]
+
+    # -- worker loop ---------------------------------------------------------
+    def step(self, now: Optional[float] = None) -> List[ServeResult]:
+        """Run every batch the decision rule says is due."""
+        results: List[ServeResult] = []
+        while True:
+            batch = self.scheduler.due(now)
+            if batch is None:
+                return results
+            results.extend(self._run_batch(batch))
+
+    def drain(self) -> List[ServeResult]:
+        """Flush the queue regardless of deadlines (end of tick)."""
+        results: List[ServeResult] = []
+        for batch in self.scheduler.flush():
+            results.extend(self._run_batch(batch))
+        return results
+
+    # -- execution -----------------------------------------------------------
+    def _run_batch(self, batch: Batch) -> List[ServeResult]:
+        size = batch.size
+        program = self.program.batched(size)
+        if size > 1:
+            inputs = np.stack([np.asarray(r.payload) for r in batch.requests])
+        else:
+            inputs = np.asarray(batch.requests[0].payload)
+        scratch = OpLedger()
+        main_ledger = self.backend.ledger
+        self.backend.ledger = scratch
+        start = time.perf_counter()
+        try:
+            self.state.reset()
+            cts = program.encrypt_input(self.backend, inputs)
+            out_cts = program.execute(self.state, cts)
+            outputs = program.decrypt_output(self.backend, out_cts)
+        finally:
+            self.backend.ledger = main_ledger
+        wall = time.perf_counter() - start
+        self._record(scratch, wall, size)
+        main_ledger.merge(scratch)
+        self.ledger.merge(scratch)
+        self.batches_run += 1
+        self.requests_served += size
+        results = []
+        for index, request in enumerate(batch.requests):
+            output = outputs[index] if size > 1 else outputs
+            results.append(
+                ServeResult(
+                    ticket=request.ticket,
+                    client_id=request.client_id,
+                    output=output,
+                    batch_size=size,
+                    reason=batch.reason,
+                    wall_seconds=wall,
+                    modeled_seconds=scratch.seconds / size,
+                )
+            )
+        return results
+
+    def _record(self, scratch: OpLedger, wall: float, size: int) -> None:
+        # Every request in the batch *waited* the full run — the
+        # histogram reports latency; amortized per-request cost lives in
+        # ServeResult.modeled_seconds and the throughput benchmarks.
+        for _ in range(size):
+            self.request_latency.observe(wall)
+        for phase, seconds in scratch.seconds_by_phase.items():
+            op = phase.split("/", 1)[0]
+            histogram = self.op_histograms.get(op)
+            if histogram is None:
+                histogram = LatencyHistogram()
+                self.op_histograms[op] = histogram
+            histogram.observe(seconds)
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> Dict:
+        return {
+            "requests_served": self.requests_served,
+            "batches_run": self.batches_run,
+            "capacity": self.scheduler.capacity,
+            "preloaded_plaintexts": self.preloaded_plaintexts,
+            "compilations_since_load": self.compilations_since_load,
+            "placements_since_load": self.placements_since_load,
+            "request_latency": self.request_latency.snapshot(),
+            "modeled_seconds": self.ledger.seconds,
+            "ops": {
+                op: histogram.snapshot()
+                for op, histogram in sorted(self.op_histograms.items())
+            },
+            "ledger": self.ledger.snapshot(),
+        }

@@ -1,0 +1,156 @@
+"""Cross-request SIMD slot batching: the queue and the decision rule.
+
+One encrypted MNIST-scale inference occupies a small fraction of a
+ciphertext's slots; the rest ride along as zeros.  The scheduler
+coalesces pending requests into those unused slots — B clients in B
+blocks of n/B slots — so the *same* compiled program (with its linear
+layers swapped for block-replicated views, see
+:meth:`repro.core.program.FheProgram.batched`) serves all of them in
+one execution: ~B x requests/sec for ~1 x the latency.
+
+The decision rule (docs/serving.md) is cost-model-driven:
+
+- **Full batch** — when the queue holds a full ciphertext's worth of
+  requests (the program's slot capacity), run immediately; waiting
+  cannot improve throughput further.
+- **Deadline** — each request carries a latency deadline (or inherits
+  ``max_wait_seconds``).  The scheduler flushes a partial batch as soon
+  as waiting any longer would make the earliest deadline unmeetable,
+  using the modeled batched-run latency from the cost model: flush when
+  ``now + modeled_run_seconds >= earliest_deadline``.
+- **Worthwhileness** — a batch of B is only formed when the modeled
+  batched run beats B sequential runs (it essentially always does —
+  the batched program runs the same ciphertext count — but the rule is
+  checked against the cost model, not assumed, so a future layout whose
+  batched view were more expensive would fall back to run-now).
+
+The scheduler is deterministic and clock-injected (pass ``now``) so the
+runtime — and the tests — fully control time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class PendingRequest:
+    """One enqueued inference request."""
+
+    client_id: str
+    payload: object
+    enqueued_at: float
+    deadline: Optional[float] = None
+    ticket: int = 0
+
+
+@dataclass
+class Batch:
+    """A group of requests scheduled to run in one ciphertext."""
+
+    requests: List[PendingRequest]
+    reason: str  # "full" | "deadline" | "flush" | "single"
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class SlotBatchingScheduler:
+    """Coalesces requests into slot-batched runs under a latency knob.
+
+    Args:
+        capacity: the program's slot-batch capacity (power of two).
+        modeled_run_seconds: cost-model latency of one (batched or
+            single — same ciphertext count) program execution; drives
+            the deadline rule.
+        max_wait_seconds: default latency budget for requests without
+            an explicit deadline.
+        batch_worthwhile: predicate ``(batch_size) -> bool`` from the
+            cost model; defaults to "always" for B >= 2.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        modeled_run_seconds: float = 0.0,
+        max_wait_seconds: float = 0.05,
+        batch_worthwhile=None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.modeled_run_seconds = modeled_run_seconds
+        self.max_wait_seconds = max_wait_seconds
+        self.batch_worthwhile = batch_worthwhile or (lambda size: size >= 2)
+        self.queue: List[PendingRequest] = []
+        self._next_ticket = 0
+
+    # -- queue -------------------------------------------------------------
+    def submit(
+        self,
+        client_id: str,
+        payload,
+        now: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> PendingRequest:
+        now = time.monotonic() if now is None else now
+        request = PendingRequest(
+            client_id=client_id,
+            payload=payload,
+            enqueued_at=now,
+            deadline=deadline if deadline is not None else now + self.max_wait_seconds,
+            ticket=self._next_ticket,
+        )
+        self._next_ticket += 1
+        self.queue.append(request)
+        return request
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # -- decision rule -----------------------------------------------------
+    def earliest_deadline(self) -> Optional[float]:
+        if not self.queue:
+            return None
+        return min(r.deadline for r in self.queue)
+
+    def due(self, now: Optional[float] = None) -> Optional[Batch]:
+        """The batch to run right now, or None to keep waiting.
+
+        Call repeatedly until it returns None (a full queue can yield
+        several capacity-sized batches).
+        """
+        if not self.queue:
+            return None
+        now = time.monotonic() if now is None else now
+        if len(self.queue) >= self.capacity:
+            return self._take(self.capacity, "full")
+        if now + self.modeled_run_seconds >= self.earliest_deadline():
+            size = _floor_power_of_two(len(self.queue))
+            if size >= 2 and self.batch_worthwhile(size):
+                return self._take(size, "deadline")
+            return self._take(1, "single")
+        return None
+
+    def flush(self, now: Optional[float] = None) -> List[Batch]:
+        """Drain the whole queue into maximal power-of-two batches
+        (shutdown / end-of-tick semantics)."""
+        batches: List[Batch] = []
+        while self.queue:
+            size = min(self.capacity, _floor_power_of_two(len(self.queue)))
+            if size >= 2 and not self.batch_worthwhile(size):
+                size = 1
+            batches.append(self._take(size, "flush" if size > 1 else "single"))
+        return batches
+
+    def _take(self, size: int, reason: str) -> Batch:
+        self.queue.sort(key=lambda r: (r.deadline, r.ticket))
+        taken, self.queue = self.queue[:size], self.queue[size:]
+        return Batch(requests=taken, reason=reason)
+
+
+def _floor_power_of_two(value: int) -> int:
+    return 1 << (max(1, value).bit_length() - 1)

@@ -60,9 +60,12 @@ class TestRotationTrees:
         assert np.allclose(got, 2.5, atol=1e-9)
 
     def test_rotation_trees_cost_log_rotations(self, backend):
-        before = backend.ledger.counts["hrot"]
+        """"# Rots" accounting: the fold tree reports log2(width)
+        rotations whether it runs sequentially (hrot) or expanded off
+        one shared decomposition (hrot_hoisted, charged_rotations)."""
+        before = backend.ledger.rotations
         rotate_sum(backend, _encrypt(backend, np.ones(64)), 64)
-        assert backend.ledger.counts["hrot"] - before == 6
+        assert backend.ledger.rotations - before == 6
 
 
 class TestInnerProduct:

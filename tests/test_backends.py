@@ -71,6 +71,22 @@ class TestCostModelShapes:
         """Rotations are the expensive primitive (motivation for BSGS)."""
         assert costs.hrot(10) > 3 * costs.pmult(10)
 
+    def test_fused_pricing_beats_double_at_every_level(self, costs):
+        """Calibration regression (BENCH_ckks_hotpath.json): the fused
+        deferred-mod-down path measures 2.9-3.9x over the per-rotation
+        pipeline, so its price must beat hoisting="double" at shallow
+        levels too — the previous constants made it look break-even."""
+        for level in (2, 4, 8, 12):
+            fused = costs.matvec_cost(level, 16, 3, 3, hoisting="fused")
+            double = costs.matvec_cost(level, 16, 3, 3, hoisting="double")
+            assert fused < double, f"fused not cheaper at level {level}"
+
+    def test_inner_product_is_small_fraction_of_keyswitch(self, costs):
+        """Measured: the lazy int64 inner product is ~5% of a keyswitch
+        (hoisted-x8 median); decompose + mod-down dominate."""
+        level = 8
+        assert costs.ks_inner(level) < 0.2 * costs.keyswitch(level)
+
     def test_bootstrap_dominates_everything(self, costs):
         assert costs.bootstrap() > 20 * costs.hrot(costs.params.effective_level)
 

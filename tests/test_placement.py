@@ -155,3 +155,49 @@ class TestBaselines:
         dacapo = dacapo_style_placement(chain, l_eff=5, boot_cost=BOOT)
         assert dacapo.modeled_seconds <= 1.2 * opt.modeled_seconds + 1e-9
         assert dacapo.num_bootstraps >= opt.num_bootstraps - 1
+
+
+class TestBootCountsPinnedUnderCalibratedCosts:
+    """Table 5 regression pins: cost-model recalibration (c_inner /
+    c_decompose refit against BENCH_ckks_hotpath.json) must not move
+    bootstrap counts or entry levels — the fit constrains the total
+    keyswitch price precisely so placement economics stay put.
+    """
+
+    @pytest.fixture(scope="class")
+    def compile_net(self):
+        import numpy as np
+
+        from repro.ckks.params import paper_parameters
+        from repro.nn import init
+        from repro.orion import OrionNetwork
+
+        def compile_net(builder, shape, seed=3):
+            init.seed_init(seed)
+            onet = OrionNetwork(builder(), shape)
+            rng = np.random.default_rng(seed)
+            onet.fit([rng.normal(0, 0.5, (8,) + shape)])
+            return onet.compile(paper_parameters(), mode="analyze")
+
+        return compile_net
+
+    def test_resnet_boot_counts_unchanged(self, compile_net):
+        from repro.models import resnet_cifar, silu_act
+
+        expected = {8: 6, 14: 12, 20: 18}
+        for depth, boots in expected.items():
+            compiled = compile_net(
+                lambda d=depth: resnet_cifar(d, act=silu_act(31), width=4),
+                (3, 8, 8),
+            )
+            assert compiled.num_bootstraps == boots
+            assert compiled.placement.entry_level == 9
+
+    def test_mlp_stays_bootstrap_free(self, compile_net):
+        from repro.models import SecureMlp
+
+        compiled = compile_net(
+            lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8)
+        )
+        assert compiled.num_bootstraps == 0
+        assert compiled.placement.entry_level == 5

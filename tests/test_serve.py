@@ -1,0 +1,443 @@
+"""Tests for the compile-once / serve-many runtime (repro.serve).
+
+Covers the artifact store (bit-exact round-trips, loud schema
+failures), cross-request SIMD slot batching (bit-exact against
+sequential execution on the cleartext-packed path, precision-equal on
+the exact backend), the scheduler's cost/deadline decision rule, the
+multi-tenant key registry, the inference server's zero-compilation
+serve path, and the serve-many stale-cache regression.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+from repro.backend import SimBackend, ToyBackend
+from repro.ckks.keys import KeyManifest
+from repro.ckks.params import toy_parameters
+from repro.core.compiler import OrionCompiler
+from repro.core.packing.layouts import BlockReplicatedLayout, VectorLayout
+from repro.core.packing.matvec import build_linear_packing
+from repro.core.placement.planner import solve_placement
+from repro.models import LolaCnn, SecureMlp
+from repro.nn import init
+from repro.orion import OrionNetwork
+from repro.serve import (
+    ArtifactSchemaError,
+    InferenceServer,
+    KeyRegistry,
+    SlotBatchingScheduler,
+    load_artifact,
+)
+
+
+def _toy_params(ks_alpha: int = 1):
+    return toy_parameters(
+        ring_degree=2048,
+        max_level=6,
+        boot_levels=1,
+        scale_bits=24,
+        num_special_primes=2 if ks_alpha > 1 else 1,
+        ks_alpha=ks_alpha,
+    )
+
+
+def _make_net(builder, shape, seed=0):
+    init.seed_init(seed)
+    net = builder()
+    rng = np.random.default_rng(seed)
+    onet = OrionNetwork(net, shape)
+    onet.fit([rng.normal(0, 0.5, (8,) + shape)])
+    return onet, rng
+
+
+@pytest.fixture(scope="module")
+def mlp_artifact(tmp_path_factory):
+    onet, rng = _make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+    params = _toy_params()
+    path = str(tmp_path_factory.mktemp("artifacts") / "mlp.npz")
+    compiled = onet.compile(params)
+    compiled.export(path, params)
+    return onet, rng, params, path, compiled
+
+
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("ks_alpha", [1, 2])
+    def test_mlp_round_trip_bit_exact(self, tmp_path, ks_alpha):
+        onet, rng = _make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        params = _toy_params(ks_alpha)
+        path = str(tmp_path / f"mlp_a{ks_alpha}.npz")
+        compiled = onet.compile(params)
+        compiled.export(path, params)
+        loaded = load_artifact(path)
+        img = rng.normal(0, 0.5, (1, 8, 8))
+        # Cleartext-packed execution is deterministic: bit-exact or bust.
+        assert np.array_equal(
+            loaded.program.run_cleartext_packed(img),
+            compiled.program.run_cleartext_packed(img),
+        )
+        # Exact backend with the same seed: identical ciphertext math.
+        assert np.array_equal(
+            loaded.program.run(ToyBackend(params, seed=7), img),
+            compiled.program.run(ToyBackend(params, seed=7), img),
+        )
+
+    @pytest.mark.parametrize("ks_alpha", [1, 2])
+    def test_conv_round_trip_bit_exact(self, tmp_path, ks_alpha):
+        onet, rng = _make_net(
+            lambda: LolaCnn(image_size=8, channels=2), (1, 8, 8), seed=1
+        )
+        params = _toy_params(ks_alpha)
+        path = str(tmp_path / f"cnn_a{ks_alpha}.npz")
+        compiled = onet.compile(params)
+        compiled.export(path, params)
+        loaded = load_artifact(path)
+        img = rng.normal(0, 0.5, (1, 8, 8))
+        assert np.array_equal(
+            loaded.program.run_cleartext_packed(img),
+            compiled.program.run_cleartext_packed(img),
+        )
+        assert np.array_equal(
+            loaded.program.run(ToyBackend(params, seed=11), img),
+            compiled.program.run(ToyBackend(params, seed=11), img),
+        )
+
+    def test_manifest_reconstructs_exact_params(self, mlp_artifact):
+        _, _, params, path, _ = mlp_artifact
+        loaded = load_artifact(path)
+        assert loaded.manifest.to_params() == params
+        assert loaded.manifest.rotation_steps  # a real manifest, not empty
+
+    def test_schema_version_mismatch_fails_loudly(self, tmp_path, mlp_artifact):
+        import json
+
+        _, _, _, path, _ = mlp_artifact
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        doc = json.loads(bytes(arrays.pop("__manifest__")).decode())
+        doc["schema_version"] = 99
+        bad_path = str(tmp_path / "bad.npz")
+        np.savez(
+            bad_path,
+            __manifest__=np.frombuffer(json.dumps(doc).encode(), dtype=np.uint8),
+            **arrays,
+        )
+        with pytest.raises(ArtifactSchemaError, match="schema version"):
+            load_artifact(bad_path)
+
+    def test_non_artifact_fails_loudly(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ArtifactSchemaError, match="not a serving artifact"):
+            load_artifact(path)
+
+    def test_manifest_covers_every_runtime_rotation(self, mlp_artifact):
+        """Keys generated from the manifest alone must suffice — no
+        lazy keygen on the request path, single-shot or slot-batched."""
+        _, rng, params, path, _ = mlp_artifact
+        loaded = load_artifact(path)
+        registry = KeyRegistry(loaded.manifest)
+        backend = registry.backend_for("tenant-a")
+        keys_before = backend.context.keys.num_rotation_keys()
+        loaded.program.run(backend, rng.normal(0, 0.5, (1, 8, 8)))
+        loaded.program.batched(4).run(backend, rng.normal(0, 0.5, (4, 1, 8, 8)))
+        assert backend.context.keys.num_rotation_keys() == keys_before
+
+    def test_preload_skips_every_weight_encode(self, mlp_artifact):
+        _, rng, params, path, _ = mlp_artifact
+        loaded = load_artifact(path)
+        backend = ToyBackend(params, seed=2)
+        installed = loaded.preload(backend)
+        assert installed > 0
+        img = rng.normal(0, 0.5, (1, 8, 8))
+        out = loaded.program.run(backend, img)
+        # A second backend without preload produces identical results.
+        cold = ToyBackend(params, seed=2)
+        assert np.array_equal(out, loaded.program.run(cold, img))
+
+
+class TestSlotBatching:
+    @pytest.mark.parametrize(
+        "builder,shape",
+        [
+            (lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8)),
+            (lambda: LolaCnn(image_size=8, channels=2), (1, 8, 8)),
+        ],
+        ids=["mlp", "conv"],
+    )
+    def test_batched_cleartext_bit_exact_vs_sequential(self, builder, shape):
+        onet, rng = _make_net(builder, shape, seed=2)
+        params = _toy_params()
+        compiled = onet.compile(params)
+        program = compiled.program
+        capacity = program.slot_batch_capacity()
+        batch = min(4, capacity)
+        assert batch >= 4, f"expected capacity >= 4, got {capacity}"
+        imgs = [rng.normal(0, 0.5, shape) for _ in range(batch)]
+        sequential = np.stack([program.run_cleartext_packed(im) for im in imgs])
+        batched = program.batched(batch).run_cleartext_packed(np.stack(imgs))
+        assert np.array_equal(batched, sequential)
+
+    def test_batched_encrypted_matches_sequential_precision(self):
+        onet, rng = _make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        params = _toy_params()
+        compiled = onet.compile(params)
+        program = compiled.program
+        imgs = [rng.normal(0, 0.5, (1, 8, 8)) for _ in range(4)]
+        packed = np.stack([program.run_cleartext_packed(im) for im in imgs])
+        outs = program.batched(4).run(ToyBackend(params, seed=5), np.stack(imgs))
+        for j in range(4):
+            bits = OrionNetwork.precision_bits(outs[j], packed[j])
+            assert bits > 5, f"client {j}: only {bits:.2f} bits"
+
+    def test_batched_program_charges_one_execution(self):
+        """The throughput win: 4 clients cost one program execution —
+        the same ciphertext count as a single request."""
+        onet, _ = _make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        params = _toy_params()
+        program = onet.compile(params).program
+        rng = np.random.default_rng(0)
+        single_backend = SimBackend(params, seed=1)
+        program.run(single_backend, rng.normal(0, 0.5, (1, 8, 8)))
+        batch_backend = SimBackend(params, seed=1)
+        program.batched(4).run(
+            batch_backend, rng.normal(0, 0.5, (4, 1, 8, 8))
+        )
+        # Same op counts within a small factor (batched hybrid layers
+        # relocate wrap rows into extra diagonals) — never 4x.
+        single_ops = single_backend.ledger.multiplies
+        batch_ops = batch_backend.ledger.multiplies
+        assert batch_ops < 2 * single_ops
+
+    def test_capacity_and_overflow(self):
+        onet, _ = _make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        program = onet.compile(_toy_params()).program
+        capacity = program.slot_batch_capacity()
+        assert capacity >= 4
+        with pytest.raises(ValueError, match="capacity"):
+            program.batched(2 * capacity)
+
+    def test_block_replicated_layout_round_trip(self):
+        inner = VectorLayout(10, 64)
+        layout = BlockReplicatedLayout(inner, batch=4, slots=64)
+        data = np.arange(40, dtype=float).reshape(4, 10)
+        assert np.array_equal(layout.unpack(layout.pack(data)), data)
+
+    def test_block_replicated_layout_rejects_oversize(self):
+        with pytest.raises(ValueError, match="block"):
+            BlockReplicatedLayout(VectorLayout(40, 64), batch=4, slots=64)
+
+
+class TestStaleCacheRegression:
+    """Serve-many cache hazard: one pt_cache dict shared across scales
+    and levels (exactly what artifact preloading does) must never serve
+    a stale encode.  Before the fingerprinted cache keys this silently
+    corrupted the second request's output by the scale ratio."""
+
+    def test_shared_pt_cache_across_scales_and_levels(self):
+        params = toy_parameters(ring_degree=64, max_level=6, scale_bits=20)
+        backend = ToyBackend(params)
+        n = params.slot_count
+        rng = np.random.default_rng(1)
+        vec = rng.normal(size=n) * 0.1
+        terms = {(0, 0, 1): vec}
+        x = rng.normal(size=n) * 0.1
+        reference = vec * np.roll(x, -1)
+        shared_cache = {}
+        for level, scale_mult in ((5, 1), (5, 2), (3, 1), (5, 1)):
+            ct = backend.encrypt(backend.encode(x, level, params.scale))
+            pt_scale = Fraction(params.data_primes[level]) * scale_mult
+            outs = backend.matvec_fused(
+                [ct], terms, 1, pt_scale, pt_cache=shared_cache
+            )
+            got = backend.decrypt(backend.rescale(outs[0]))
+            assert np.max(np.abs(got - reference)) < 1e-3, (
+                f"stale encode served at level {level}, scale x{scale_mult}"
+            )
+        # One entry per distinct (level, scale) fingerprint, re-used on
+        # the repeat — not one entry total, not one per call.
+        assert len(shared_cache) == 3
+
+    def test_packed_matvec_across_levels_on_one_backend(self):
+        params = toy_parameters(ring_degree=64, max_level=6, scale_bits=20)
+        backend = ToyBackend(params)
+        n = params.slot_count
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(8, 16))
+        layout = VectorLayout(16, n)
+        packed = build_linear_packing(matrix, None, layout, name="fc")
+        x = rng.normal(size=16) * 0.1
+        reference = packed.execute_cleartext(layout.pack(x))
+        for level in (5, 3, 5):
+            cts = [
+                backend.encrypt(backend.encode(v, level, params.scale))
+                for v in layout.pack(x)
+            ]
+            outs = packed.execute(
+                backend, cts, Fraction(params.data_primes[level])
+            )
+            got = np.array([backend.decrypt(c)[:n] for c in outs])
+            assert np.max(np.abs(got - np.array(reference))) < 1e-2
+
+
+class TestScheduler:
+    def test_waits_below_capacity_before_deadline(self):
+        sched = SlotBatchingScheduler(capacity=8, max_wait_seconds=1.0)
+        sched.submit("a", 1, now=0.0)
+        sched.submit("b", 2, now=0.0)
+        assert sched.due(now=0.0) is None  # plenty of budget left
+
+    def test_full_queue_flushes_immediately(self):
+        sched = SlotBatchingScheduler(capacity=4, max_wait_seconds=100.0)
+        for i in range(5):
+            sched.submit(f"c{i}", i, now=0.0)
+        batch = sched.due(now=0.0)
+        assert batch is not None and batch.size == 4 and batch.reason == "full"
+        assert sched.due(now=0.0) is None  # one left, deadline far away
+
+    def test_deadline_forces_partial_batch(self):
+        sched = SlotBatchingScheduler(
+            capacity=8, modeled_run_seconds=0.5, max_wait_seconds=1.0
+        )
+        for i in range(3):
+            sched.submit(f"c{i}", i, now=0.0)
+        # At t=0.6, t + 0.5 modeled run >= 1.0 deadline: flush 2 (pow2).
+        batch = sched.due(now=0.6)
+        assert batch is not None and batch.size == 2 and batch.reason == "deadline"
+
+    def test_single_when_batching_not_worthwhile(self):
+        sched = SlotBatchingScheduler(
+            capacity=8, max_wait_seconds=0.0, batch_worthwhile=lambda size: False
+        )
+        sched.submit("a", 1, now=0.0)
+        sched.submit("b", 2, now=0.0)
+        batch = sched.due(now=1.0)
+        assert batch.size == 1 and batch.reason == "single"
+
+    def test_flush_drains_into_power_of_two_batches(self):
+        sched = SlotBatchingScheduler(capacity=4, max_wait_seconds=100.0)
+        for i in range(7):
+            sched.submit(f"c{i}", i, now=0.0)
+        sizes = [b.size for b in sched.flush()]
+        assert sizes == [4, 2, 1]
+        assert len(sched) == 0
+
+
+class TestKeyRegistry:
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        onet, _ = _make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        params = _toy_params()
+        compiled = onet.compile(params)
+        return KeyManifest.for_program(params, compiled.program)
+
+    def test_backend_cached_per_client(self, manifest):
+        registry = KeyRegistry(manifest)
+        a1 = registry.backend_for("alice")
+        a2 = registry.backend_for("alice")
+        b = registry.backend_for("bob")
+        assert a1 is a2 and a1 is not b
+        assert registry.keygen_count == 2
+
+    def test_manifest_keys_pregenerated(self, manifest):
+        registry = KeyRegistry(manifest)
+        backend = registry.backend_for("alice")
+        have = set(backend.context.keys.galois)
+        needed = {
+            backend.context.encoder.rotation_exponent(step)
+            for step in manifest.rotation_steps
+        }
+        assert needed <= have
+
+    def test_lru_eviction(self, manifest):
+        registry = KeyRegistry(manifest, max_clients=2)
+        registry.backend_for("a")
+        registry.backend_for("b")
+        registry.backend_for("a")  # refresh a
+        registry.backend_for("c")  # evicts b
+        assert registry.keygen_count == 3
+        registry.backend_for("b")  # re-keygen
+        assert registry.keygen_count == 4
+
+    def test_fingerprint_distinguishes_manifests(self, manifest):
+        other = KeyManifest(
+            params_dict=manifest.params_dict,
+            rotation_steps=manifest.rotation_steps + (999,),
+        )
+        assert other.fingerprint() != manifest.fingerprint()
+
+
+class TestInferenceServer:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        onet, rng = _make_net(lambda: SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+        params = _toy_params()
+        path = str(tmp_path_factory.mktemp("serve") / "mlp.npz")
+        onet.export(path, params)
+        artifact = load_artifact(path)
+        backend = ToyBackend(params, seed=9)
+        server = InferenceServer(artifact, backend, max_wait_seconds=0.0)
+        return onet, rng, params, artifact, server
+
+    def test_batched_serving_end_to_end(self, served):
+        onet, rng, params, artifact, server = served
+        compilations_before = OrionCompiler.invocations
+        placements_before = solve_placement.invocations
+        imgs = [rng.normal(0, 0.5, (1, 8, 8)) for _ in range(4)]
+        tickets = [
+            server.submit(im, client_id=f"c{i}", now=0.0)
+            for i, im in enumerate(imgs)
+        ]
+        results = {r.ticket: r for r in server.step(now=10.0)}
+        assert sorted(results) == sorted(tickets)
+        assert all(r.batch_size == 4 for r in results.values())
+        packed = [artifact.program.run_cleartext_packed(im) for im in imgs]
+        for ticket, im, ref in zip(tickets, imgs, packed):
+            bits = OrionNetwork.precision_bits(results[ticket].output, ref)
+            assert bits > 5
+        # The serve path never compiles or plans.
+        assert OrionCompiler.invocations == compilations_before
+        assert solve_placement.invocations == placements_before
+        assert server.compilations_since_load == 0
+        assert server.placements_since_load == 0
+
+    def test_serve_now_single(self, served):
+        _, rng, _, artifact, server = served
+        img = rng.normal(0, 0.5, (1, 8, 8))
+        result = server.serve_now(img)
+        ref = artifact.program.run_cleartext_packed(img)
+        assert OrionNetwork.precision_bits(result.output, ref) > 5
+        assert result.batch_size == 1
+
+    def test_telemetry_accumulates(self, served):
+        *_, server = served
+        stats = server.stats()
+        assert stats["requests_served"] >= 5
+        assert stats["request_latency"]["count"] >= 5
+        assert stats["modeled_seconds"] > 0
+        assert stats["ledger"]["rotations"] > 0
+        assert "linear" in stats["ops"]
+        assert stats["preloaded_plaintexts"] > 0
+
+    def test_max_batch_floored_to_power_of_two(self, served):
+        """A non-power-of-two cap must not produce an unexecutable
+        batch size (block replication divides the slot count)."""
+        _, _, params, artifact, _ = served
+        server = InferenceServer(
+            artifact, ToyBackend(params, seed=1), max_batch=3, preload=False
+        )
+        assert server.scheduler.capacity == 2
+        with pytest.raises(ValueError, match="max_batch"):
+            InferenceServer(
+                artifact, ToyBackend(params, seed=1), max_batch=0, preload=False
+            )
+
+    def test_drain_flushes_queue(self, served):
+        _, rng, *_ , server = served
+        for i in range(3):
+            server.submit(rng.normal(0, 0.5, (1, 8, 8)), now=0.0)
+        results = server.drain()
+        assert len(results) == 3
+        assert sorted(r.batch_size for r in results) == [1, 2, 2]
