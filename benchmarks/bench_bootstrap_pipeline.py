@@ -1,4 +1,4 @@
-"""Ablation: real bootstrapping pipeline vs the oracle substitution.
+"""Ablation + end-to-end latency of the real bootstrapping pipeline.
 
 DESIGN.md substitutes the paper's Lattigo bootstrap with an oracle
 refresh whose external contract (level reset to L_eff, L_boot levels
@@ -7,10 +7,30 @@ the compiler reasons about.  This bench validates that substitution by
 running the *real* ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff
 pipeline (repro.ckks.bootstrap) on the exact toy arithmetic and
 comparing both flavours on every contract clause.
+
+``test_bootstrap_e2e_latency`` additionally times the *whole* pipeline
+— the number the per-stage transform benchmarks could not gate — in two
+flavours:
+
+- **shared** (the production path): the CoeffToSlot conjugation rides
+  the transforms' shared digit decomposition as composed Galois
+  elements, both CoeffToSlot halves come from ONE fused call, and the
+  EvalMod constant plaintexts are cached across refreshes;
+- **pre-PR fused**: the previous fused pipeline — explicit conjugation
+  key switch, one fused call per half, constants re-encoded every call.
+
+Medians merge into ``BENCH_ckks_hotpath.json`` (section
+``bootstrap_e2e``) and CI's bench-gate enforces the >= 1.1x
+end-to-end floor.  ``HOTPATH_QUICK=1`` shrinks repetitions;
+``HOTPATH_ALPHA=k`` benchmarks grouped digit decomposition.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
+from bench_json_util import merge_json
 
 from repro.backend.toy import ToyBackend
 from repro.ckks.bootstrap import CkksBootstrapper
@@ -20,9 +40,95 @@ from repro.ckks.params import (
     toy_parameters,
 )
 
+QUICK = bool(int(os.environ.get("HOTPATH_QUICK", "0")))
+ALPHA = int(os.environ.get("HOTPATH_ALPHA", "1"))
+E2E_REPS = 3 if QUICK else 7
+E2E_PARAMS = bootstrap_parameters(ks_alpha=ALPHA)
+E2E_CONFIG_KEY = (
+    f"N{E2E_PARAMS.ring_degree}_L{E2E_PARAMS.max_level}_alpha{ALPHA}_"
+    f"{'quick' if QUICK else 'full'}"
+)
+
 
 def _precision_bits(got, want):
     return float(-np.log2(np.abs(got - want).mean()))
+
+
+def _time_stats(fn, reps=E2E_REPS):
+    """(min, median) wall clock in ms; min drives the in-bench floor."""
+    fn()  # warm every cache the flavour owns
+    times = []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times) * 1e3, float(np.median(times)) * 1e3
+
+
+def test_bootstrap_e2e_latency(record_table):
+    """Full bootstrap latency: shared pipeline vs the pre-PR fused one.
+
+    Correctness is gated before any timing: both flavours must satisfy
+    the bootstrap contract (level reset, exact Delta scale, usable
+    precision), report identical ledger rotation counts ("# Rots"
+    parity — the shared conjugation is an accounting rotation even
+    though it pays no standalone key switch), and agree with each other
+    to noise precision.
+    """
+    backend = ToyBackend(E2E_PARAMS, seed=7)
+    shared = CkksBootstrapper(backend, fused=True)
+    pre_pr = CkksBootstrapper(
+        backend, fused=True, shared_conjugation=False, cache_eval_consts=False
+    )
+    rng = np.random.default_rng(3)
+    message = rng.uniform(-0.9, 0.9, E2E_PARAMS.slot_count)
+    ct = backend.encode_encrypt(message, level=0)
+
+    backend.ledger.reset()
+    out_shared = shared.bootstrap(ct)
+    rots_shared = backend.ledger.rotations
+    backend.ledger.reset()
+    out_pre = pre_pr.bootstrap(ct)
+    rots_pre = backend.ledger.rotations
+    assert rots_shared == rots_pre
+    assert out_shared.level == out_pre.level == E2E_PARAMS.effective_level
+    assert out_shared.scale == out_pre.scale == E2E_PARAMS.scale
+    assert _precision_bits(backend.decrypt(out_shared), message) > 7.0
+    assert _precision_bits(backend.decrypt(out_pre), message) > 7.0
+    got_s, got_p = backend.decrypt(out_shared), backend.decrypt(out_pre)
+    assert np.abs(got_s - got_p).max() < 2.0**-6
+
+    shared_ms, shared_med = _time_stats(lambda: shared.bootstrap(ct))
+    pre_ms, pre_med = _time_stats(lambda: pre_pr.bootstrap(ct))
+
+    record_table(
+        "ckks_bootstrap_e2e",
+        f"End-to-end bootstrap latency (N={E2E_PARAMS.ring_degree}, "
+        f"L={E2E_PARAMS.max_level}, alpha={ALPHA}, {rots_shared} rotations, "
+        f"{'quick' if QUICK else 'full'} mode)",
+        ("pipeline", "wall-clock (ms)", "speedup"),
+        [
+            ("pre-PR fused (standalone conj)", f"{pre_ms:.1f}", "1.00x"),
+            ("shared conj + cached consts", f"{shared_ms:.1f}", f"{pre_ms / shared_ms:.2f}x"),
+        ],
+    )
+    merge_json(
+        E2E_CONFIG_KEY,
+        "bootstrap_e2e",
+        {
+            "rotations": rots_shared,
+            "shared_median_ms": round(shared_med, 3),
+            "pre_pr_median_ms": round(pre_med, 3),
+            "speedup_shared_vs_pre_pr": round(pre_med / shared_med, 3),
+        },
+        ring_degree=E2E_PARAMS.ring_degree,
+        max_level=E2E_PARAMS.max_level,
+        ks_alpha=ALPHA,
+        quick=QUICK,
+    )
+    # Acceptance floor: the whole pipeline — not just the transforms —
+    # must be >= 1.1x faster than the pre-sharing fused pipeline.
+    assert shared_ms < pre_ms / 1.1
 
 
 def test_real_vs_oracle_bootstrap(record_table, benchmark):

@@ -10,7 +10,6 @@ at small N (the real arithmetic shows the same limb-count scaling).
 import time
 
 import numpy as np
-import pytest
 
 from repro.backend import CostModel, ToyBackend
 from repro.ckks.params import paper_parameters, toy_parameters

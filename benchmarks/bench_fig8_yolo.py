@@ -8,8 +8,6 @@ width-scaled YOLO runs *end-to-end under FHE* on a synthetic VOC-like
 scene and its decoded detections must match the cleartext decode.
 """
 
-import numpy as np
-
 from repro.backend import SimBackend
 from repro.ckks.params import paper_parameters
 from repro.datasets import voc_like

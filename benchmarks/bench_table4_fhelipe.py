@@ -11,7 +11,6 @@ during every convolution (paper Section 8.2's discussion).
 from repro.backend.costs import CostModel
 from repro.ckks.params import paper_parameters
 from repro.core.placement.baselines import lazy_placement
-from repro.core.placement.planner import solve_placement
 from repro.models import resnet_cifar, relu_act
 from repro.nn import init
 from repro.orion import OrionNetwork
@@ -22,7 +21,7 @@ COSTS = CostModel(PARAMS)
 
 def _latency_breakdown(chain, placement, costs, hoisting, encode_on_the_fly):
     """Re-price a placement with a given backend strategy."""
-    from repro.core.placement.items import LayerSpec, PlacementRegion
+    from repro.core.placement.items import PlacementRegion
 
     def walk(c):
         for item in c.items:

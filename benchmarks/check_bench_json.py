@@ -60,6 +60,15 @@ FLOORS = {
         "speedup_fused_vs_per_rotation": (1.5, 1.5),
         "speedup_fused_vs_bsgs": (1.05, 1.05),
     },
+    # End-to-end bootstrap latency: the whole ModRaise -> CoeffToSlot ->
+    # EvalMod -> SlotToCoeff pipeline (shared-conjugation + cached
+    # constants) vs the pre-sharing fused pipeline.  The 1.1x floor is
+    # deliberately identical in quick and full mode: the stage-level
+    # gates above cannot see a regression that only shows up end to end
+    # (e.g. the conjugation falling back to its standalone key switch).
+    "bootstrap_e2e": {
+        "speedup_shared_vs_pre_pr": (1.1, 1.1),
+    },
     "serving": {
         "speedup_batched_vs_single": (2.0, 2.0),
     },
@@ -69,7 +78,12 @@ FLOORS = {
 # (in at least one config) — so the gate cannot be green by running
 # nothing, without demanding serving medians of the hot-path file.
 REQUIRED_SECTIONS = {
-    "BENCH_ckks_hotpath.json": ("ops", "bsgs_matvec", "bootstrap_transforms"),
+    "BENCH_ckks_hotpath.json": (
+        "ops",
+        "bsgs_matvec",
+        "bootstrap_transforms",
+        "bootstrap_e2e",
+    ),
     "BENCH_serving.json": ("serving",),
 }
 
@@ -82,6 +96,7 @@ SECTION_MEDIANS = {
         "bsgs_median_ms",
         "per_rotation_median_ms",
     ),
+    "bootstrap_e2e": ("shared_median_ms", "pre_pr_median_ms"),
     "serving": ("single_request_median_ms", "batched_request_median_ms"),
 }
 

@@ -15,8 +15,6 @@ with a small trained variant.
 Run:  python examples/activation_tradeoff.py
 """
 
-import numpy as np
-
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.backend import SimBackend

@@ -8,13 +8,11 @@ rotation and rescale below is genuine lattice arithmetic.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.backend import ToyBackend
 from repro.ckks.params import toy_parameters
-from repro.datasets import DataLoader, mnist_like
+from repro.datasets import mnist_like
 from repro.models import LolaCnn
 from repro.nn import SGD, init
 from repro.orion import OrionNetwork

@@ -19,7 +19,6 @@ import time
 
 import numpy as np
 
-from repro.backend import ToyBackend
 from repro.ckks.params import toy_parameters
 from repro.core.compiler import OrionCompiler
 from repro.models import SecureMlp

@@ -11,8 +11,6 @@ Two parts:
 Run:  python examples/yolo_detection.py
 """
 
-import numpy as np
-
 from repro.backend import SimBackend
 from repro.ckks.params import paper_parameters
 from repro.datasets import voc_like

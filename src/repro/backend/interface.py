@@ -200,6 +200,19 @@ class FheBackend(abc.ABC):
             is not FheBackend._matvec_fused_no_charge
         )
 
+    @property
+    def supports_shared_conjugation(self) -> bool:
+        """Whether :meth:`matvec_fused` accepts conjugation-composed
+        offsets ``("conj", k)`` — conjugate the input, then rotate by
+        ``k``, as ONE Galois element riding the input's shared digit
+        decomposition (one extra inner product; the deferred mod-down
+        stays shared).  The bootstrap CoeffToSlot path uses this to
+        eliminate its standalone conjugation key switch.  Backends with
+        a fused path are expected to support it; the default mirrors
+        :attr:`supports_fused_matvec`.
+        """
+        return self.supports_fused_matvec
+
     def matvec_fused(
         self,
         in_cts: Sequence,
@@ -215,7 +228,11 @@ class FheBackend(abc.ABC):
         vector of that diagonal (the *original* diagonal — the giant
         pre-rotation is already folded out, so every offset rotates the
         input ciphertext directly and all rotations of one input share a
-        single key-switch digit decomposition).  Exact backends keep the
+        single key-switch digit decomposition).  An offset is a plain
+        rotation step (``int``) or a conjugation-composed Galois element
+        ``("conj", k)`` — conjugate the input, then rotate by ``k`` —
+        which shares the same decomposition (see
+        :attr:`supports_shared_conjugation`).  Exact backends keep the
         per-offset products in the extended Q_l * P basis and mod down
         once per output block (Bossuat et al. [11] double hoisting).
 

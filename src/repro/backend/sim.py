@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.backend.costs import CostModel
 from repro.backend.interface import FheBackend, ScaleLike
+from repro.ckks.galois import galois_offset_key
 from repro.ckks.params import CkksParameters
 from repro.utils.rng import SeededRng
 
@@ -207,6 +208,15 @@ class SimBackend(FheBackend):
         std = float(np.hypot(a.noise_std, self._ks_noise))
         return SimCiphertext(values, a.level, a.scale, std)
 
+    def conjugate(self, a: SimCiphertext) -> SimCiphertext:
+        """Slot-wise conjugation: the identity on the simulator's real
+        slot vectors, but still a Galois key switch (priced and noised
+        like a rotation)."""
+        self.ledger.charge("hrot", self.costs.hrot(a.level))
+        values = a.values + self._noise(self.slot_count, self._ks_noise)
+        std = float(np.hypot(a.noise_std, self._ks_noise))
+        return SimCiphertext(values, a.level, a.scale, std)
+
     def _matvec_fused_no_charge(
         self,
         in_cts: Sequence[SimCiphertext],
@@ -223,6 +233,13 @@ class SimBackend(FheBackend):
         one key-switch noise term is injected per distinct offset plus
         one for the mod-down — slightly *less* noise than the per-baby
         mod-downs of the unfused path, matching Bossuat et al. [11].
+
+        Conjugation-composed offsets ``("conj", k)`` are supported: on
+        the simulator's real slot vectors conjugation is the identity,
+        so the element contributes like a plain rotation by ``k`` while
+        still counting as a distinct key-switch inner product in the
+        noise model (``("conj", 0)`` is a real Galois map, unlike plain
+        offset 0).
         """
         level = in_cts[0].level
         scale = in_cts[0].scale
@@ -235,7 +252,8 @@ class SimBackend(FheBackend):
         outputs = []
         for bo in range(num_out):
             bo_terms = sorted(
-                (bi, off) for (bo2, bi, off) in terms if bo2 == bo
+                ((bi, off) for (bo2, bi, off) in terms if bo2 == bo),
+                key=lambda t: (t[0], galois_offset_key(t[1])),
             )
             if not bo_terms:
                 outputs.append(None)
@@ -244,7 +262,8 @@ class SimBackend(FheBackend):
             var = 0.0
             for bi, off in bo_terms:
                 vec = terms[(bo, bi, off)]
-                values = values + vec * np.roll(in_cts[bi].values, -off)
+                step = off[1] if isinstance(off, tuple) else off
+                values = values + vec * np.roll(in_cts[bi].values, -step)
                 mag = float(np.max(np.abs(vec))) if np.size(vec) else 0.0
                 var += (in_cts[bi].noise_std * max(mag, 1e-30)) ** 2
             num_rots = len({(bi, off) for bi, off in bo_terms if off})

@@ -17,6 +17,7 @@ from repro.backend.costs import CostModel
 from repro.backend.interface import FheBackend, ScaleLike
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.context import CkksContext
+from repro.ckks.galois import galois_offset_key
 from repro.ckks.params import CkksParameters
 from repro.rns.poly import RnsPolynomial
 
@@ -114,10 +115,11 @@ class ToyBackend(FheBackend):
     ) -> Optional[List[Optional[Ciphertext]]]:
         """Exact fused diagonal accumulation (true double hoisting).
 
-        Every rotation of an input ciphertext reuses one digit
-        decomposition (:meth:`CkksContext.rotate_hoisted_raw`); the
-        per-offset products against Q_l * P-lifted weight plaintexts are
-        summed lazily in int64 (the chunked-reduction trick of
+        Every Galois offset of an input ciphertext — plain rotations
+        *and* conjugation-composed ``("conj", k)`` elements — reuses one
+        digit decomposition (:meth:`CkksContext.rotate_hoisted_raw`);
+        the per-offset products against Q_l * P-lifted weight plaintexts
+        are summed lazily in int64 (the chunked-reduction trick of
         ``_ks_inner``) and a single ``_ks_moddown`` per output block
         replaces the per-rotation mod-downs of the unfused path.
         """
@@ -165,7 +167,8 @@ class ToyBackend(FheBackend):
         outputs: List[Optional[Ciphertext]] = []
         for bo in range(num_out):
             bo_terms = sorted(
-                (bi, off) for (bo2, bi, off), _ in terms.items() if bo2 == bo
+                ((bi, off) for (bo2, bi, off), _ in terms.items() if bo2 == bo),
+                key=lambda t: (t[0], galois_offset_key(t[1])),
             )
             if not bo_terms:
                 outputs.append(None)

@@ -45,7 +45,10 @@ import numpy as np
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.params import RingType
 from repro.core.approx.chebyshev import ChebyshevPoly, chebyshev_fit
-from repro.core.approx.evaluator import evaluate_chebyshev
+from repro.core.approx.evaluator import (
+    cached_const_plaintext,
+    evaluate_chebyshev,
+)
 
 
 def overflow_bound(hamming_weight: int) -> int:
@@ -115,6 +118,23 @@ class CkksBootstrapper:
             backend's fused deferred-mod-down path (default).  False
             forces the per-rotation BSGS pipeline — the reference the
             fused transforms are benchmarked against.
+        shared_conjugation: on the fused path, fold the CoeffToSlot
+            conjugation into the transform itself (default): the conj
+            matrices' diagonals become conjugation-composed Galois
+            elements ``("conj", k)`` riding the *same* digit
+            decomposition as the rotations, both output halves are
+            produced by ONE ``matvec_fused`` call, and the standalone
+            ``backend.conjugate`` key switch disappears.  False keeps
+            the pre-sharing pipeline (explicit conjugate ciphertext,
+            one fused call per half) — the baseline the end-to-end
+            bootstrap benchmark gates against.
+        cache_eval_consts: persist the EvalMod constant-plaintext
+            encodes (Chebyshev coefficients, scale-matching ones) and
+            the pipeline's re-centering ones-plaintexts across
+            bootstrap calls (default).  False re-encodes every call —
+            together with ``shared_conjugation=False`` this is the
+            exact pre-sharing ("pre-PR") fused pipeline the end-to-end
+            benchmark floors are measured against.
     """
 
     def __init__(
@@ -124,6 +144,8 @@ class CkksBootstrapper:
         window: Optional[int] = None,
         double_angles: int = 0,
         fused: bool = True,
+        shared_conjugation: bool = True,
+        cache_eval_consts: bool = True,
     ):
         params = backend.params
         if params.ring_type is not RingType.STANDARD:
@@ -161,6 +183,8 @@ class CkksBootstrapper:
         # encoded-plaintext caches, both persistent across bootstrap
         # calls — the transforms always run at the same level and scale.
         self.fused = fused
+        self.shared_conjugation = shared_conjugation
+        self.cache_eval_consts = cache_eval_consts
         self._plans: dict = {}
         self._pt_caches: dict = {}
 
@@ -353,10 +377,83 @@ class CkksBootstrapper:
             - math.log2(float(backend.scale_of(raised)))
             + math.log2(rescale_prime)
         )
-        ones = backend.encode(
-            np.ones(self.n), level, Fraction(1 << max(shift, 1))
-        )
+        ones = self._ones_pt(level, Fraction(1 << max(shift, 1)))
         return backend.rescale(backend.mul_plain(raised, ones))
+
+    def _ones_pt(self, level: int, scale: Fraction):
+        """All-ones plaintext at an exact (level, scale), cached across
+        bootstrap calls (the pipeline re-centres scales with the same
+        handful of constants on every refresh)."""
+        return cached_const_plaintext(
+            self.backend,
+            1.0,
+            level,
+            scale,
+            self._pt_caches.setdefault("ones_consts", {})
+            if self.cache_eval_consts
+            else None,
+        )
+
+    def _shared_cts_plan(self) -> dict:
+        """CoeffToSlot plan with the conjugation folded into the terms.
+
+        Reuses the per-half BSGS plans (``cts_lo`` / ``cts_hi``) but
+        re-keys every conjugate-matrix diagonal from input 1 to a
+        conjugation-composed Galois element ``("conj", k)`` on input 0,
+        and stacks both halves as output blocks 0 and 1 of a single
+        fused call.  The whole CoeffToSlot then costs ONE digit
+        decomposition (of the raised ciphertext's c1), one inner
+        product per distinct element, and one deferred mod-down per
+        output half — the standalone conjugation key switch is gone.
+
+        ``rot_count`` keeps ledger parity with the unshared pipeline:
+        both halves' BSGS counts plus 1 for the conjugation, which the
+        unshared path charges as an explicit HRot.
+        """
+        plan = self._plans.get("cts_shared")
+        if plan is not None:
+            return plan
+        halves = {
+            "cts_lo": self.cts_lo,
+            "cts_hi": self.cts_hi,
+        }
+        terms: dict = {}
+        rot_count = 1  # the conjugation itself
+        for bo, (table, (direct, conj)) in enumerate(halves.items()):
+            sub = self._transform_plan(table, [(None, direct), (None, conj)])
+            rot_count += sub["rot_count"]
+            for (_, i, k), diagonal in sub["terms"].items():
+                offset = k if i == 0 else ("conj", k)
+                terms[(bo, 0, offset)] = diagonal
+        plan = {"terms": terms, "rot_count": rot_count}
+        self._plans["cts_shared"] = plan
+        return plan
+
+    def _coeff_to_slot_shared(
+        self, raised: Ciphertext, pt_scale: Fraction
+    ) -> Optional[Tuple[Ciphertext, Ciphertext]]:
+        """Both CoeffToSlot halves off one shared decomposition.
+
+        Returns ``None`` when the backend has no fused path (callers
+        fall back to the explicit-conjugate pipeline).
+        """
+        backend = self.backend
+        plan = self._shared_cts_plan()
+        level = backend.level_of(raised)
+        cache = self._pt_caches.setdefault(
+            ("cts_shared",) + backend.plaintext_cache_key(level, pt_scale), {}
+        )
+        outs = backend.matvec_fused(
+            [raised],
+            plan["terms"],
+            2,
+            pt_scale,
+            pt_cache=cache,
+            charged_rotations=plan["rot_count"],
+        )
+        if outs is None or outs[0] is None or outs[1] is None:
+            return None
+        return backend.rescale(outs[0]), backend.rescale(outs[1])
 
     def coeff_to_slot(self, raised: Ciphertext) -> Tuple[Ciphertext, Ciphertext]:
         """Move coefficients into slots: one shared multiplicative level.
@@ -364,6 +461,12 @@ class CkksBootstrapper:
         Input: the ModRaise output at declared scale q0*B.  Outputs: two
         ciphertexts whose slots hold (u + q0*I)[:n] / (q0*B) and the
         upper half — EvalMod-ready values in [-1, 1] — at scale Delta.
+
+        On backends with a fused matvec the default pipeline shares ONE
+        key-switch digit decomposition across everything CoeffToSlot
+        does — both halves' rotations *and* the conjugation, which rides
+        the decomposition as composed Galois elements instead of paying
+        its own key switch (:meth:`_coeff_to_slot_shared`).
         """
         backend = self.backend
         level = backend.level_of(raised)
@@ -374,6 +477,14 @@ class CkksBootstrapper:
         # entries wide enough to survive plaintext rounding.
         out_scale = Fraction(self.params.primes[level - 1])
         pt_scale = out_scale * rescale_prime / backend.scale_of(raised)
+        if (
+            self.fused
+            and self.shared_conjugation
+            and getattr(backend, "supports_shared_conjugation", False)
+        ):
+            shared = self._coeff_to_slot_shared(raised, pt_scale)
+            if shared is not None:
+                return shared
         conjugated = backend.conjugate(raised)
         lo = self._matvec_sum(
             [(raised, self.cts_lo[0]), (conjugated, self.cts_lo[1])],
@@ -394,7 +505,16 @@ class CkksBootstrapper:
         the reduced angle and squares its way back up, one level per
         doubling: cos(2t) = 2 cos(t)^2 - 1.
         """
-        out = evaluate_chebyshev(self.backend, ct, self.evalmod_poly)
+        out = evaluate_chebyshev(
+            self.backend,
+            ct,
+            self.evalmod_poly,
+            pt_cache=(
+                self._pt_caches.setdefault("evalmod_consts", {})
+                if self.cache_eval_consts
+                else None
+            ),
+        )
         if self.double_angles:
             out = self._pin_scale_to_prime(out)
         for _ in range(self.double_angles):
@@ -413,8 +533,9 @@ class CkksBootstrapper:
         level = backend.level_of(ct)
         target = Fraction(self.params.primes[level - 1])
         ratio = target * self.params.primes[level] / backend.scale_of(ct)
-        ones = backend.encode(np.ones(self.n), level, ratio)
-        return backend.rescale(backend.mul_plain(ct, ones))
+        return backend.rescale(
+            backend.mul_plain(ct, self._ones_pt(level, ratio))
+        )
 
     def _double_angle_step(self, ct: Ciphertext) -> Ciphertext:
         backend = self.backend

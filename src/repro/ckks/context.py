@@ -32,12 +32,15 @@ import numpy as np
 
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.encoding import get_encoder
+from repro.ckks.galois import galois_offset_key
 from repro.ckks.keys import KeyChain, SwitchingKey
 from repro.ckks.params import CkksParameters, RingType
 from repro.ntt import galois_eval_permutation
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import RnsPolynomial
 from repro.utils.rng import SeededRng
+
+__all__ = ["CkksContext", "galois_offset_key"]
 
 
 class CkksContext:
@@ -122,7 +125,10 @@ class CkksContext:
         return -(-(level + 1) // self.params.ks_alpha)
 
     def _make_switching_key(
-        self, from_key: RnsPolynomial, to_key: RnsPolynomial
+        self,
+        from_key: RnsPolynomial,
+        to_key: RnsPolynomial,
+        max_level: Optional[int] = None,
     ) -> SwitchingKey:
         """Hybrid switching key encrypting P*g_i*from_key per digit i.
 
@@ -132,11 +138,26 @@ class CkksContext:
         (P mod q_j) on digit i's own limbs and 0 everywhere else —
         including the special limbs, since P | g_i — so no big-integer
         work is needed regardless of the grouping.
+
+        ``max_level`` generates a *compressed* key: pairs live on the
+        key-switch chain of that level only — ``dnum(max_level)`` digits
+        over ``max_level + 1`` data limbs plus the special basis —
+        instead of the full chain.  A compressed key serves any key
+        switch at ``level <= max_level`` (the use-time restriction in
+        :meth:`_key_tensors` selects a sub-chain either way) and shrinks
+        storage by the dropped digits *and* the dropped limbs per digit.
         """
-        chain = self._full_chain()
-        num_data = self.params.max_level + 1
+        if max_level is None or max_level >= self.params.max_level:
+            max_level = None
+            chain = self._full_chain()
+            num_data = self.params.max_level + 1
+        else:
+            chain = self._ks_chain(max_level)
+            num_data = max_level + 1
+            from_key = self._restrict(from_key, chain)
+            to_key = self._restrict(to_key, chain)
         alpha = self.params.ks_alpha
-        num_digits = self._ks_num_digits(self.params.max_level)
+        num_digits = self._ks_num_digits(num_data - 1)
         special = self.basis.special_modulus()
         pairs = []
         for digit in range(num_digits):
@@ -149,22 +170,106 @@ class CkksContext:
             ]
             b_i = b_i + from_key.scalar_mul(gadget_factors)
             pairs.append((b_i, a_i))
-        return SwitchingKey(pairs)
+        return SwitchingKey(pairs, max_level=max_level)
 
-    def galois_key(self, exponent: int) -> SwitchingKey:
-        """Fetch (or lazily create) the switching key for sigma_t."""
+    def galois_key(
+        self, exponent: int, max_level: Optional[int] = None
+    ) -> SwitchingKey:
+        """Fetch (or lazily create) the switching key for sigma_t.
+
+        ``max_level`` is the highest data level the caller needs the key
+        to cover.  A cached key is returned whenever it covers that
+        level (full-chain keys always do); otherwise a new key is
+        generated — full-chain by default, so lazy creation through the
+        evaluator never produces a key that later key switches outgrow.
+        Use :meth:`generate_compressed_galois_key` to deliberately cache
+        the level-bounded compressed form.
+        """
         exponent %= 2 * self.params.ring_degree
-        if exponent not in self.keys.galois:
+        need = self.params.max_level if max_level is None else max_level
+        key = self.keys.galois.get(exponent)
+        if key is None or not key.covers(need):
             rotated_secret = self.keys.secret.automorphism(exponent)
-            self.keys.galois[exponent] = self._make_switching_key(
-                rotated_secret, self.keys.secret
-            )
-        return self.keys.galois[exponent]
+            key = self._make_switching_key(rotated_secret, self.keys.secret)
+            self.keys.galois[exponent] = key
+        return key
 
-    def generate_rotation_keys(self, steps: Iterable[int]) -> None:
-        """Pre-generate rotation keys (the compile-time step of Section 6)."""
+    def generate_compressed_galois_key(
+        self, exponent: int, max_level: int
+    ) -> SwitchingKey:
+        """Cache the compressed (level-bounded) key for sigma_t.
+
+        Stores only the digits and limbs any key switch at
+        ``level <= max_level`` consumes.  If a key for the exponent
+        already exists it is *restricted* — its pairs are truncated to
+        ``dnum(max_level)`` digits over the bounded chain, which leaves
+        every key switch at a covered level **bit-identical** to the
+        original key (use-time tensor extraction selects exactly those
+        rows either way).  Fresh keys are generated directly in the
+        compressed form.  An existing *compressed* key that already
+        covers the bound is kept as is (never shrunk further — callers
+        ask per use site, and the widest recorded bound must survive).
+        """
+        exponent %= 2 * self.params.ring_degree
+        if max_level >= self.params.max_level:
+            return self.galois_key(exponent)
+        key = self.keys.galois.get(exponent)
+        if key is not None and key.max_level is not None and key.covers(max_level):
+            return key
+        if key is not None and key.covers(max_level):
+            # Full-chain key cached: restriction is bit-preserving.
+            key = self._restrict_switching_key(key, max_level)
+        else:
+            # No key yet — or a *narrower* compressed key that a second
+            # program now outgrows: generate fresh at the wider bound.
+            rotated_secret = self.keys.secret.automorphism(exponent)
+            key = self._make_switching_key(
+                rotated_secret, self.keys.secret, max_level=max_level
+            )
+        self.keys.galois[exponent] = key
+        return key
+
+    def _restrict_switching_key(
+        self, key: SwitchingKey, max_level: int
+    ) -> SwitchingKey:
+        """Compress an existing key by dropping digits and limbs.
+
+        Keeps the first ``dnum(max_level)`` pairs, each restricted to
+        the ``Q_max_level * P`` chain — exactly the rows
+        :meth:`_key_tensors` would extract for any key switch at
+        ``level <= max_level``, so results are bit-identical to the
+        uncompressed key's.
+        """
+        if not key.covers(max_level):
+            raise ValueError(
+                f"cannot restrict a level-{key.max_level} key to level "
+                f"{max_level}"
+            )
+        chain = self._ks_chain(max_level)
+        num_digits = self._ks_num_digits(max_level)
+        pairs = [
+            (self._restrict(b, chain), self._restrict(a, chain))
+            for b, a in key.pairs[:num_digits]
+        ]
+        return SwitchingKey(pairs, max_level=max_level)
+
+    def generate_rotation_keys(
+        self, steps: Iterable[int], levels: Optional[Dict[int, int]] = None
+    ) -> None:
+        """Pre-generate rotation keys (the compile-time step of Section 6).
+
+        ``levels`` optionally maps a step to the highest level it is
+        used at (:meth:`repro.core.program.FheProgram.required_rotation_step_levels`);
+        steps present in the map get compressed keys bounded at that
+        level, the rest get full-chain keys.
+        """
         for step in steps:
-            self.galois_key(self.encoder.rotation_exponent(step))
+            exponent = self.encoder.rotation_exponent(step)
+            bound = None if levels is None else levels.get(step)
+            if bound is not None and bound < self.params.max_level:
+                self.generate_compressed_galois_key(exponent, bound)
+            else:
+                self.galois_key(exponent)
 
     # ------------------------------------------------------------------
     # Encoding and encryption
@@ -446,7 +551,7 @@ class CkksContext:
     def _apply_galois(self, ct: Ciphertext, exponent: int) -> Ciphertext:
         if ct.c2 is not None:
             raise ValueError("relinearize before rotating")
-        key = self.galois_key(exponent)
+        key = self.galois_key(exponent, max_level=ct.level)
         rot0 = ct.c0.automorphism(exponent)
         rot1 = ct.c1.automorphism(exponent)
         p0, p1 = self._keyswitch(rot1, key, ct.level)
@@ -493,7 +598,19 @@ class CkksContext:
 
     def _key_tensors(self, key: SwitchingKey, level: int) -> np.ndarray:
         """Switching-key pairs stacked as one (2, digits, ks_limbs, N)
-        tensor (b rows first, a rows second), cached per ks chain."""
+        tensor (b rows first, a rows second), cached per ks chain.
+
+        Compressed keys (``SwitchingKey.max_level`` set) only carry the
+        digits and limbs of their bounded chain; using one above its
+        bound is a caller bug and fails loudly here rather than
+        silently dropping digits from the inner product.
+        """
+        if not key.covers(level):
+            raise ValueError(
+                f"switching key is compressed to level {key.max_level} "
+                f"but the key switch runs at level {level}; regenerate "
+                "the key (or raise its bound in the key manifest)"
+            )
         ks_chain = self._ks_chain(level)
         num_digits = self._ks_num_digits(level)
         cache_key = (ks_chain, num_digits)
@@ -568,40 +685,70 @@ class CkksContext:
         acc = self._ks_inner(digits, key, level)
         return self._ks_moddown(acc, level)
 
-    def rotate_hoisted_raw(
-        self, ct: Ciphertext, steps_list: Iterable[int]
-    ) -> Dict[int, tuple]:
-        """Hoisted rotations left in the extended Q_l * P basis.
+    def galois_offset_exponent(self, offset) -> int:
+        """Galois exponent of a hoisted offset (int or ``("conj", k)``).
+
+        A conjugation-composed offset applies sigma_conj first, then the
+        rotation: automorphisms compose by multiplying their exponents
+        mod 2N, so the pair is ONE Galois element — one switching key,
+        one inner product — rather than two chained key switches.
+        """
+        if isinstance(offset, tuple):
+            conj = self.encoder.conjugation_exponent
+            return (conj * self.encoder.rotation_exponent(offset[1])) % (
+                2 * self.params.ring_degree
+            )
+        return self.encoder.rotation_exponent(offset)
+
+    def rotate_hoisted_raw(self, ct: Ciphertext, steps_list: Iterable) -> Dict:
+        """Hoisted Galois maps left in the extended Q_l * P basis.
 
         Shares one key-switch digit decomposition of ``ct.c1`` across
-        all requested steps (they act on the same c1 — the digit tensor
-        commutes with Galois permutations), but defers the mod-down:
-        each step returns ``(rot0, acc)`` where ``rot0`` is the rotated
-        c0 over Q_l and ``acc`` is the raw ``(2, ks_limbs, N)``
-        evaluation-form key-switch accumulator still over Q_l * P.
+        all requested offsets (they act on the same c1 — the digit
+        tensor commutes with Galois permutations), but defers the
+        mod-down: each offset returns ``(rot0, acc)`` where ``rot0`` is
+        the transformed c0 over Q_l and ``acc`` is the raw
+        ``(2, ks_limbs, N)`` evaluation-form key-switch accumulator
+        still over Q_l * P.
+
+        Offsets are plain rotation steps (``int``) or conjugation-
+        composed elements ``("conj", k)`` — conjugate, then rotate by
+        ``k``.  The composition is a single Galois automorphism, so the
+        bootstrap CoeffToSlot conjugation rides the *same* digit
+        decomposition as the transform rotations instead of paying its
+        own standalone key switch (one extra inner product per element;
+        the mod-down stays shared).
 
         Callers that accumulate many plaintext-weighted rotations (the
         fused BSGS matvec) add ``pt * acc`` terms lazily and pay one
         :meth:`_ks_moddown` per output instead of one per rotation.
         Applying :meth:`_ks_moddown` to each ``acc`` directly reproduces
-        :meth:`rotate_hoisted` bit-for-bit.  Step 0 is excluded (it
-        needs no key switch; callers handle it as the identity).
+        :meth:`rotate_hoisted` (or the standalone :meth:`conjugate` key
+        switch) bit-for-bit.  Step 0 is excluded (it needs no key
+        switch; callers handle it as the identity) — but ``("conj", 0)``
+        is a real Galois map and is processed like any other element.
         """
         if ct.c2 is not None:
             raise ValueError("relinearize before rotating")
-        outputs: Dict[int, tuple] = {}
-        nonzero = sorted({s % self.slot_count for s in steps_list} - {0})
+        outputs: Dict = {}
+        unique = {
+            ("conj", s[1] % self.slot_count)
+            if isinstance(s, tuple)
+            else s % self.slot_count
+            for s in steps_list
+        }
+        nonzero = sorted(unique - {0}, key=galois_offset_key)
         if not nonzero:
             return outputs
         digits = self._ks_decompose(ct.c1, ct.level)
         n = self.params.ring_degree
-        for step in nonzero:
-            exponent = self.encoder.rotation_exponent(step)
-            key = self.galois_key(exponent)
+        for offset in nonzero:
+            exponent = self.galois_offset_exponent(offset)
+            key = self.galois_key(exponent, max_level=ct.level)
             perm = galois_eval_permutation(n, exponent)
             acc = self._ks_inner(digits[..., perm], key, ct.level)
             rot0 = ct.c0.automorphism(exponent)
-            outputs[step] = (rot0, acc)
+            outputs[offset] = (rot0, acc)
         return outputs
 
     def rotate_hoisted(self, ct: Ciphertext, steps_list: Iterable[int]) -> Dict[int, Ciphertext]:

@@ -14,7 +14,7 @@ c_j * w^j.  Both directions are therefore O(N log N) numpy FFTs.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -1,0 +1,26 @@
+"""Shared helpers for hoisted Galois offsets.
+
+A hoisted offset — the unit `FheBackend.matvec_fused` and
+`CkksContext.rotate_hoisted_raw` operate on — is either a plain
+rotation step (``int``) or a conjugation-composed element
+``("conj", step)``: conjugate first, then rotate by ``step`` (one
+Galois automorphism, exponent ``conj_exp * 5^step mod 2N``).
+
+This module is deliberately dependency-free so the lightweight
+functional simulator can order mixed offsets without importing the
+exact-arithmetic context machinery.
+"""
+
+from __future__ import annotations
+
+
+def galois_offset_key(offset):
+    """Canonical sort key for hoisted Galois offsets.
+
+    Mixed collections of ``int`` and ``("conj", k)`` offsets are not
+    orderable by Python's default comparison, so every consumer that
+    needs a deterministic iteration order sorts with this key.
+    """
+    if isinstance(offset, tuple):
+        return (1, offset[1])
+    return (0, offset)

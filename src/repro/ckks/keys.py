@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.rns.poly import RnsPolynomial
 
@@ -29,13 +29,35 @@ class SwitchingKey:
     ``cache`` holds the pairs re-stacked as ``(digits, limbs, N)``
     tensors per key-switch chain, so the hoisted inner product is a
     single broadcasted multiply instead of a per-digit Python loop.
+
+    ``max_level`` marks a *compressed* key: its pairs carry only the
+    digits and limbs a key switch at ``level <= max_level`` consumes
+    (``dnum(max_level)`` digits over the ``Q_max_level * P`` chain)
+    instead of the full-chain form.  ``None`` is the full-chain key.
+    Grouped digits (``ks_alpha > 1``) compound the saving: compression
+    drops whole digit *groups* above the bound as well as the limbs
+    of every surviving digit.
     """
 
     pairs: List[Tuple[RnsPolynomial, RnsPolynomial]]
     cache: Dict = field(default_factory=dict)
+    max_level: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.pairs)
+
+    def covers(self, level: int) -> bool:
+        """Whether this key can serve a key switch at ``level``."""
+        return self.max_level is None or level <= self.max_level
+
+    def size_bytes(self) -> int:
+        """Stored key material in bytes (the compression win metric).
+
+        Counts the persistent (b_i, a_i) residue tensors only — the
+        per-chain ``cache`` re-stackings are derived views that exist
+        for full keys and compressed keys alike.
+        """
+        return sum(b.data.nbytes + a.data.nbytes for b, a in self.pairs)
 
 
 @dataclass
@@ -81,11 +103,21 @@ class KeyManifest:
     parameters are value-identical to the compiler's (the prime chain,
     ``ks_alpha`` digit grouping, and special basis all participate in
     :meth:`fingerprint`, which keys multi-tenant backend caches).
+
+    ``rotation_step_levels`` (parallel to ``rotation_steps``) records
+    the highest ciphertext level each step's key switch executes at, as
+    traced from the program's placement decisions.  Key generators use
+    it to produce *compressed* switching keys — only the digits and
+    limbs a key switch at that level consumes
+    (:class:`SwitchingKey.max_level`) — instead of full-chain pairs.
+    An empty tuple means "levels unknown": every key is generated
+    full-chain, the pre-compression behaviour.
     """
 
     params_dict: Dict
     rotation_steps: Tuple[int, ...]
     needs_conjugation: bool = False
+    rotation_step_levels: Tuple[int, ...] = ()
 
     @classmethod
     def for_program(cls, params, program) -> "KeyManifest":
@@ -105,11 +137,20 @@ class KeyManifest:
             "secret_hamming_weight": params.secret_hamming_weight,
             "primes": list(params.primes),
         }
+        steps = tuple(program.required_rotation_steps())
+        step_levels = program.required_rotation_step_levels()
         return cls(
             params_dict=fields,
-            rotation_steps=tuple(program.required_rotation_steps()),
+            rotation_steps=steps,
             needs_conjugation=False,
+            rotation_step_levels=tuple(step_levels[s] for s in steps),
         )
+
+    def step_level_map(self) -> Dict[int, int]:
+        """``{step: max execution level}`` (empty if levels unknown)."""
+        if not self.rotation_step_levels:
+            return {}
+        return dict(zip(self.rotation_steps, self.rotation_step_levels))
 
     def to_params(self):
         """Reconstruct the exact CkksParameters of the manifest."""
@@ -125,6 +166,7 @@ class KeyManifest:
             "params": dict(self.params_dict),
             "rotation_steps": list(self.rotation_steps),
             "needs_conjugation": self.needs_conjugation,
+            "rotation_step_levels": list(self.rotation_step_levels),
         }
 
     @classmethod
@@ -133,6 +175,7 @@ class KeyManifest:
             params_dict=dict(data["params"]),
             rotation_steps=tuple(data["rotation_steps"]),
             needs_conjugation=bool(data["needs_conjugation"]),
+            rotation_step_levels=tuple(data.get("rotation_step_levels", ())),
         )
 
     def fingerprint(self) -> str:

@@ -6,7 +6,6 @@ Range estimation (paper Section 6) guarantees polynomial inputs lie in
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Tuple
 

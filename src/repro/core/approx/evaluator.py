@@ -29,6 +29,26 @@ from repro.core.approx.chebyshev import ChebyshevPoly
 _COEFF_EPS = 1e-12
 
 
+def cached_const_plaintext(backend, value: float, level: int, scale, cache=None):
+    """Encode (or fetch) the all-``value`` plaintext at (level, scale).
+
+    ``cache`` entries are keyed by the constant's value *plus* the
+    backend's full encode fingerprint (level, scale, ks config, prime
+    chain), so one dict may serve many levels/scales/configs without
+    ever returning a stale encode.  ``None`` disables caching.  Shared
+    by the Chebyshev evaluator and the bootstrap pipeline's
+    scale-recentering constants.
+    """
+    if cache is None:
+        return backend.encode(np.full(backend.slot_count, value), level, scale)
+    key = (float(value), backend.plaintext_cache_key(level, scale))
+    pt = cache.get(key)
+    if pt is None:
+        pt = backend.encode(np.full(backend.slot_count, value), level, scale)
+        cache[key] = pt
+    return pt
+
+
 def _largest_giant(degree: int, m: int) -> int:
     g = m
     while 2 * g <= degree:
@@ -37,12 +57,24 @@ def _largest_giant(degree: int, m: int) -> int:
 
 
 class _ChebEvaluator:
-    """One evaluation of a Chebyshev series on one ciphertext."""
+    """One evaluation of a Chebyshev series on one ciphertext.
 
-    def __init__(self, backend, ct):
+    ``pt_cache`` (optional, caller-owned) persists the constant
+    plaintexts the evaluator encodes — coefficient vectors, scale-
+    matching ones, the T_{2a} correction — across evaluations.  Hot
+    repeated evaluations of one polynomial (the bootstrap EvalMod runs
+    the same series at the same levels and scales on every refresh)
+    then encode nothing after the first call.  Entries are keyed by the
+    constant's value *plus* the backend's full encode fingerprint
+    (level, scale, ks config, prime chain), so a shared cache can never
+    serve a stale encode.
+    """
+
+    def __init__(self, backend, ct, pt_cache: Optional[Dict] = None):
         self.backend = backend
         self.delta = Fraction(backend.params.scale)
         self.powers: Dict[int, object] = {1: ct}
+        self.pt_cache = pt_cache
 
     # -- scale/level plumbing ------------------------------------------------
     def _align_level(self, ct, level: int):
@@ -50,10 +82,15 @@ class _ChebEvaluator:
             return self.backend.level_down(ct, level)
         return ct
 
-    def _ones(self, level: int, scale: Fraction):
-        return self.backend.encode(
-            np.ones(self.backend.slot_count), level, scale
+    def _const_pt(self, value: float, level: int, scale: Fraction):
+        """Encode (or fetch) the all-``value`` plaintext at an exact
+        (level, scale)."""
+        return cached_const_plaintext(
+            self.backend, value, level, scale, self.pt_cache
         )
+
+    def _ones(self, level: int, scale: Fraction):
+        return self._const_pt(1.0, level, scale)
 
     def _match(self, ct, target_scale: Fraction, level: int):
         """Bring ct to the pre-rescale scale ``target_scale`` by a
@@ -87,9 +124,7 @@ class _ChebEvaluator:
         target = self.backend.scale_of(prod)
         if a == b:
             # T_{2a} = 2 T_a^2 - T_0; subtract the constant 1 exactly.
-            minus_one = self.backend.encode(
-                -np.ones(self.backend.slot_count), level, target
-            )
+            minus_one = self._const_pt(-1.0, level, target)
             prod = self.backend.add_plain(prod, minus_one)
         else:
             correction = self._match(self.power(a - b), target, level)
@@ -110,16 +145,12 @@ class _ChebEvaluator:
                 continue
             tj = self._align_level(self.power(j), level)
             pt_scale = target / self.backend.scale_of(tj)
-            pt = self.backend.encode(
-                np.full(self.backend.slot_count, c), level, pt_scale
-            )
-            term = self.backend.mul_plain(tj, pt)
+            term = self.backend.mul_plain(tj, self._const_pt(c, level, pt_scale))
             acc = term if acc is None else self.backend.add(acc, term)
         if acc is not None and abs(coeffs[0]) > _COEFF_EPS:
-            const = self.backend.encode(
-                np.full(self.backend.slot_count, coeffs[0]), level, target
+            acc = self.backend.add_plain(
+                acc, self._const_pt(coeffs[0], level, target)
             )
-            acc = self.backend.add_plain(acc, const)
         return acc
 
     def evaluate(self, coeffs, m: int):
@@ -153,9 +184,7 @@ class _ChebEvaluator:
         q_val = self.evaluate(q, m)
         if isinstance(q_val, tuple):
             level = self.backend.level_of(tg)
-            pt = self.backend.encode(
-                np.full(self.backend.slot_count, q_val[1]), level, self.delta
-            )
+            pt = self._const_pt(q_val[1], level, self.delta)
             prod = self.backend.mul_plain(self._align_level(tg, level), pt)
         else:
             level = min(self.backend.level_of(q_val), self.backend.level_of(tg))
@@ -171,19 +200,17 @@ class _ChebEvaluator:
         if r_degree < m:
             r_ct = self.base_terms(r[: r_degree + 1], level, target)
             if r_ct is None and abs(r[0]) > _COEFF_EPS:
-                const = self.backend.encode(
-                    np.full(self.backend.slot_count, r[0]), level, target
+                prod = self.backend.add_plain(
+                    prod, self._const_pt(r[0], level, target)
                 )
-                prod = self.backend.add_plain(prod, const)
             elif r_ct is not None:
                 prod = self.backend.add(prod, r_ct)
         else:
             r_val = self.evaluate(r[: r_degree + 1], m)
             if isinstance(r_val, tuple):
-                const = self.backend.encode(
-                    np.full(self.backend.slot_count, r_val[1]), level, target
+                prod = self.backend.add_plain(
+                    prod, self._const_pt(r_val[1], level, target)
                 )
-                prod = self.backend.add_plain(prod, const)
             else:
                 common = min(level, self.backend.level_of(r_val))
                 prod = self._align_level(prod, common)
@@ -192,18 +219,25 @@ class _ChebEvaluator:
         return self.backend.rescale(prod)
 
 
-def evaluate_chebyshev(backend, ct, poly: Union[ChebyshevPoly, "object"]):
+def evaluate_chebyshev(
+    backend,
+    ct,
+    poly: Union[ChebyshevPoly, "object"],
+    pt_cache: Optional[Dict] = None,
+):
     """Evaluate a Chebyshev-basis polynomial on a ciphertext.
 
     The input ciphertext must hold values in [-1, 1] (range estimation
-    guarantees this for activations).
+    guarantees this for activations).  ``pt_cache`` (caller-owned)
+    persists the constant-plaintext encodes across evaluations of the
+    same polynomial — see :class:`_ChebEvaluator`.
     """
     coeffs = list(poly.coeffs)
     degree = len(coeffs) - 1
     if degree < 1:
         raise ValueError("constant polynomials need no evaluation")
     m = 1 << max(1, math.ceil(math.log2(math.sqrt(degree + 1))))
-    ev = _ChebEvaluator(backend, ct)
+    ev = _ChebEvaluator(backend, ct, pt_cache=pt_cache)
     result = ev.evaluate(coeffs, m)
     if isinstance(result, tuple):
         raise ValueError("polynomial reduced to a constant")

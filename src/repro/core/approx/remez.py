@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.approx.chebyshev import ChebyshevPoly, from_power_basis
+from repro.core.approx.chebyshev import from_power_basis
 
 
 def _odd_vandermonde(x: np.ndarray, degree: int) -> np.ndarray:

@@ -18,18 +18,18 @@ Pipeline (paper Sections 4-6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.backend.costs import CostModel
 from repro.ckks.params import CkksParameters
-from repro.core.approx.chebyshev import ChebyshevPoly, chebyshev_fit
+from repro.core.approx.chebyshev import chebyshev_fit
 from repro.core.approx.evaluator import poly_eval_ops
 from repro.core.approx.sign import CompositeSign
 from repro.core.packing.analysis import analyze_conv_packing
-from repro.core.packing.layouts import MultiplexedLayout, VectorLayout
+from repro.core.packing.layouts import MultiplexedLayout
 from repro.core.packing.matvec import build_conv_packing, build_linear_packing
 from repro.core.placement.items import (
     JoinSpec,
@@ -40,7 +40,6 @@ from repro.core.placement.items import (
 from repro.core.placement.planner import PlacementResult, solve_placement
 from repro.core.program import (
     AddJoinInstr,
-    AliasInstr,
     FheProgram,
     Instruction,
     LinearInstr,
@@ -50,7 +49,7 @@ from repro.core.program import (
 )
 from repro.core.ranges import RangeEstimate, estimate_ranges
 from repro.trace.graph import LayerGraph, TracedValue, tracer
-from repro.trace.sese import Chain, LayerItem, RegionItem, build_region_tree
+from repro.trace.sese import Chain, RegionItem, build_region_tree
 from repro.autograd.tensor import Tensor, no_grad
 
 
@@ -204,7 +203,7 @@ class OrionCompiler:
         dummy = np.zeros((1,) + tuple(input_shape))
         with no_grad():
             with tracer() as graph:
-                out = net(TracedValue(Tensor(dummy), graph.input_uid))
+                net(TracedValue(Tensor(dummy), graph.input_uid))
         if graph.output_uid is None:
             raise ValueError("tracing recorded no layers — not an orion network?")
         return graph

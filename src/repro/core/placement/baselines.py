@@ -15,10 +15,9 @@
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List
 
 from repro.core.placement.items import (
-    JoinSpec,
     LayerSpec,
     PlacementChain,
     PlacementRegion,

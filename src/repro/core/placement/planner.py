@@ -11,13 +11,12 @@ position of every bootstrap — is reconstructed exactly.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.placement.items import (
-    JoinSpec,
     LayerSpec,
     PlacementChain,
     PlacementRegion,
@@ -104,7 +103,6 @@ def _solve_layer(item: LayerSpec, l_eff: int, boot_cost: float) -> _Solved:
 
 def _compose(first: _Solved, second: _Solved) -> _Solved:
     """(min, +) product of two transition matrices with argmin capture."""
-    size = first.matrix.shape[0]
     stacked = first.matrix[:, :, None] + second.matrix[None, :, :]  # (a, m, o)
     best_m = np.argmin(stacked, axis=1)  # (a, o)
     matrix = np.min(stacked, axis=1)
@@ -126,7 +124,6 @@ def _solve_region(region: PlacementRegion, l_eff: int, boot_cost: float) -> _Sol
     branch_b = _solve_chain(region.branch_b, l_eff, boot_cost)
     join = _solve_layer(region.join, l_eff, boot_cost)
 
-    size = l_eff + 1
     joint = branch_a.matrix + branch_b.matrix  # (a, m): both branches to m
     combined = joint[:, :, None] + join.matrix[None, :, :]  # (a, m, o)
     best_m = np.argmin(combined, axis=1)

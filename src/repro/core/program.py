@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -295,18 +295,38 @@ class FheProgram:
         rotates nothing, and a real pipeline owns its own transform
         keys.
         """
-        steps = set()
-        for instr in self.instructions:
-            if isinstance(instr, LinearInstr):
-                steps.update(instr.packed.required_rotation_steps())
+        return sorted(self.required_rotation_step_levels(include_batched))
+
+    def required_rotation_step_levels(
+        self, include_batched: bool = True
+    ) -> Dict[int, int]:
+        """``{step: highest execution level}`` across the program.
+
+        Every rotation a linear layer performs — BSGS babies, folded
+        giants, Gazelle fold expansions — key-switches at that layer's
+        ``exec_level`` (folds run one level *lower*, after the rescale,
+        so ``exec_level`` bounds them too).  The per-step maximum is the
+        level bound key generators need to emit *compressed* switching
+        keys (:class:`repro.ckks.keys.SwitchingKey`): only the digits
+        and limbs any key switch at ``level <= bound`` consumes.
+        """
+        levels: Dict[int, int] = {}
+
+        def visit(program):
+            for instr in program.instructions:
+                if isinstance(instr, LinearInstr):
+                    for step in instr.packed.required_rotation_steps():
+                        levels[step] = max(
+                            levels.get(step, -1), instr.exec_level
+                        )
+
+        visit(self)
         if include_batched:
             batch = 2
             while batch <= self.slot_batch_capacity():
-                for instr in self.batched(batch).instructions:
-                    if isinstance(instr, LinearInstr):
-                        steps.update(instr.packed.required_rotation_steps())
+                visit(self.batched(batch))
                 batch *= 2
-        return sorted(steps)
+        return levels
 
     def slot_batch_capacity(self) -> int:
         """Largest power-of-two client count one ciphertext can carry.

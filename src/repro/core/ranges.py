@@ -15,7 +15,7 @@ layout-only nodes by union-find before the final maxima are taken.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 import numpy as np
 

@@ -34,7 +34,13 @@ import numpy as np
 from repro.ckks.keys import KeyManifest
 from repro.core.program import FheProgram, LinearInstr
 
-SCHEMA_VERSION = 1
+# Version 2: the key manifest gained ``rotation_step_levels`` — the
+# per-step level bounds key generators use to emit *compressed*
+# switching keys (only the digits/limbs each key's recorded level
+# consumes).  Version-1 artifacts lack the bounds and must be
+# re-exported (the loader fails loudly rather than silently generating
+# full-chain keys for an artifact that promises compressed ones).
+SCHEMA_VERSION = 2
 FORMAT_NAME = "repro-serving-artifact"
 
 

@@ -96,9 +96,28 @@ class KeyRegistry:
         context = getattr(backend, "context", None)
         if context is None:
             return  # functional backends hold no key material
-        context.generate_rotation_keys(self.manifest.rotation_steps)
+        # The manifest's per-step level bounds (traced from placement)
+        # turn eager keygen into *compressed* keygen: each rotation key
+        # stores only the digits/limbs a key switch at its recorded
+        # level can consume.  Manifests without level data fall back to
+        # full-chain keys.
+        context.generate_rotation_keys(
+            self.manifest.rotation_steps, levels=self.manifest.step_level_map()
+        )
         if self.manifest.needs_conjugation:
             context.galois_key(context.encoder.conjugation_exponent)
+
+    def key_material_bytes(self, client_id: str) -> int:
+        """Stored rotation-key bytes for one client (compression metric)."""
+        backend = self._clients.get((self._fingerprint, client_id))
+        if backend is None:
+            raise KeyError(f"unknown client {client_id!r}")
+        context = getattr(backend, "context", None)
+        if context is None:
+            return 0
+        return sum(
+            key.size_bytes() for key in context.keys.galois.values()
+        )
 
     def evict(self, client_id: str) -> bool:
         """Drop a client's keys (tenant offboarding); True if present."""

@@ -31,7 +31,7 @@ runtime — and the tests — fully control time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 

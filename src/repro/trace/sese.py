@@ -82,7 +82,6 @@ def build_region_tree(graph: LayerGraph) -> Chain:
             or a fan-out wider than two (excluded by the paper).
     """
     consumers = graph.consumers()
-    producers = graph.producers()
 
     def parse_chain(start_uid: int, stop_node: Optional[TraceNode]) -> Chain:
         """Parse from value ``start_uid`` until reaching ``stop_node``

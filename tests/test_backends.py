@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 from fractions import Fraction
 
-from repro.backend import CostModel, OpLedger, SimBackend, ToyBackend
+from repro.backend import CostModel, OpLedger, SimBackend
 from repro.ckks.params import paper_parameters
 
 

@@ -228,7 +228,10 @@ class TestEndToEnd:
 
     def test_bootstrap_counted_in_ledger(self, backend, refreshed):
         assert backend.ledger.counts["bootstrap"] >= 1
-        assert backend.ledger.counts["hrot"] > 0
+        # Every transform rotation (and the conjugation, which rides
+        # the shared decomposition) is hoisted on the fused pipeline.
+        assert backend.ledger.rotations > 0
+        assert backend.ledger.counts["hrot_hoisted"] > 0
 
     def test_computation_continues_after_bootstrap(self, backend, refreshed):
         message, _, out = refreshed

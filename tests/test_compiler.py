@@ -12,7 +12,7 @@ from fractions import Fraction
 import repro.orion.nn as on
 from repro.backend import SimBackend, ToyBackend
 from repro.ckks.params import paper_parameters, toy_parameters
-from repro.models import LolaCnn, SecureMlp, resnet_cifar, silu_act, square_act
+from repro.models import LolaCnn, SecureMlp, resnet_cifar, silu_act
 from repro.models.resnet import BasicBlock
 from repro.nn import init
 from repro.orion import OrionNetwork

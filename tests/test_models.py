@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-import repro.orion.nn as on
 from repro.autograd.tensor import Tensor, no_grad
 from repro.models import (
     AlexNet,
@@ -15,7 +14,6 @@ from repro.models import (
     YoloV1,
     resnet_cifar,
     resnet_imagenet,
-    silu_act,
     square_act,
 )
 from repro.nn import init

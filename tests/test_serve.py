@@ -8,8 +8,6 @@ multi-tenant key registry, the inference server's zero-compilation
 serve path, and the serve-many stale-cache regression.
 """
 
-import os
-
 import numpy as np
 import pytest
 from fractions import Fraction

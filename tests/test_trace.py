@@ -6,7 +6,7 @@ import pytest
 import repro.orion.nn as on
 from repro.autograd.tensor import Tensor, no_grad
 from repro.trace.graph import TracedValue, tracer
-from repro.trace.sese import Chain, LayerItem, RegionItem, build_region_tree
+from repro.trace.sese import RegionItem, build_region_tree
 from repro.models.resnet import BasicBlock, resnet_cifar
 from repro.nn import init
 
