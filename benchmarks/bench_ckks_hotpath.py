@@ -28,9 +28,11 @@ import pytest
 from bench_json_util import merge_json as _merge_json
 
 from repro.backend import ToyBackend
+from repro.ckks.galois import galois_offset_key
 from repro.ckks.params import toy_parameters
 from repro.core.packing.layouts import VectorLayout
 from repro.core.packing.matvec import build_linear_packing
+from repro.ntt import galois_eval_permutation
 from repro.rns.poly import RnsPolynomial
 
 QUICK = bool(int(os.environ.get("HOTPATH_QUICK", "0")))
@@ -142,6 +144,34 @@ def legacy_keyswitch(ctx, d: RnsPolynomial, key, level: int):
     return acc0, acc1
 
 
+def legacy_rotate_hoisted_raw(ctx, ct, offsets):
+    """Seed-faithful hoisted raw rotations: one shared digit
+    decomposition, then a per-offset Python loop of individual inner
+    products (the pre-stacking path of ``rotate_hoisted_raw``)."""
+    digits = ctx._ks_decompose(ct.c1, ct.level)
+    ks_chain = ctx._ks_chain(ct.level)
+    mod_col = ctx.basis.moduli_column(ks_chain)
+    chunk = (2**63 - 1 - (max(ks_chain) - 1)) // ((max(ks_chain) - 1) ** 2)
+    n = ctx.params.ring_degree
+    out = {}
+    for offset in offsets:
+        exponent = ctx.galois_offset_exponent(offset)
+        key = ctx.galois_key(exponent, max_level=ct.level)
+        perm = galois_eval_permutation(n, exponent)
+        ba = ctx._key_tensors(key, ct.level)
+        permuted = digits[..., perm]
+        if digits.shape[0] <= chunk:
+            acc = (permuted * ba).sum(axis=1) % mod_col
+        else:
+            acc = np.zeros((2, len(ks_chain), n), dtype=np.int64)
+            for start in range(0, digits.shape[0], chunk):
+                part = permuted[start : start + chunk] * ba[:, start : start + chunk]
+                acc += part.sum(axis=1) % mod_col
+            acc %= mod_col
+        out[offset] = (ct.c0.automorphism(exponent), acc)
+    return out
+
+
 def legacy_rotate(ctx, ct, steps: int):
     exponent = ctx.encoder.rotation_exponent(steps)
     key = ctx.galois_key(exponent)
@@ -169,6 +199,30 @@ def _time_stats(fn, reps=REPS):
 def _time_ms(fn, reps=REPS):
     """Min-of-N wall clock: robust to GC pauses and noisy CI runners."""
     return _time_stats(fn, reps)[0]
+
+
+def _time_stats_paired(fn_a, fn_b, reps=REPS):
+    """Interleaved (min, median) ms for two contenders.
+
+    Timing all of A's reps then all of B's lets slow drift (CPU
+    frequency scaling, thermal throttling on CI runners) land entirely
+    on whichever ran second; alternating A/B every rep spreads any
+    drift evenly across both, which is what a paired comparison needs.
+    """
+    fn_a()
+    fn_b()
+    times_a, times_b = [], []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - start)
+    return (
+        (min(times_a) * 1e3, float(np.median(times_a)) * 1e3),
+        (min(times_b) * 1e3, float(np.median(times_b)) * 1e3),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -276,6 +330,82 @@ def test_hotpath_microbench(setup, record_table):
     assert speedups["rotate_x8_hoisted"] > (1.5 if QUICK else 4.0)
     assert speedups["keyswitch"] > 1.2
     assert speedups["rotate"] > 1.2
+
+
+STACKED_RING_DEGREE = 2048
+STACKED_MAX_LEVEL = 6
+STACKED_OFFSETS = 32
+
+
+def test_stacked_keyswitch(record_table):
+    """Stacked key-switch inner products vs the per-offset loop.
+
+    Both paths share the hoisted digit decomposition; the stacked path
+    runs ONE product-sum of the shared digit tensor against the cached
+    stack of inverse-permuted switching keys and Galois-permutes only
+    the small accumulator, removing the per-offset digit gathers and
+    Python/dispatch overhead.
+
+    The win scales with ring size and offset count (it trades per-offset
+    memory traffic for one streamed einsum), so this section pins its
+    own ring — the tiny quick-mode session ring (N=512) cannot measure
+    it — and only the rep count follows quick mode.  32 offsets is a
+    realistic BSGS baby-step batch.
+    """
+    backend = ToyBackend(
+        toy_parameters(
+            ring_degree=STACKED_RING_DEGREE,
+            max_level=STACKED_MAX_LEVEL,
+            num_special_primes=max(1, ALPHA),
+            ks_alpha=ALPHA,
+        ),
+        seed=11,
+    )
+    ct = backend.encode_encrypt(np.linspace(-1, 1, backend.slot_count))
+    ctx = backend.context
+    steps = list(range(1, STACKED_OFFSETS)) + [("conj", 0)]
+
+    # Bit-exactness before timing: the stacked product-sum must equal
+    # the per-offset loop on every offset, rot0 and accumulator alike.
+    stacked = ctx.rotate_hoisted_raw(ct, steps)
+    offsets = sorted(stacked, key=galois_offset_key)
+    legacy = legacy_rotate_hoisted_raw(ctx, ct, offsets)
+    for offset in offsets:
+        rot0_l, acc_l = legacy[offset]
+        rot0_s, acc_s = stacked[offset]
+        assert np.array_equal(rot0_s.data, rot0_l.data)
+        assert np.array_equal(np.asarray(acc_s), acc_l)
+
+    (loop_ms, loop_med), (stacked_ms, stacked_med) = _time_stats_paired(
+        lambda: legacy_rotate_hoisted_raw(ctx, ct, offsets),
+        lambda: ctx.rotate_hoisted_raw(ct, steps),
+    )
+    record_table(
+        "ckks_hotpath_stacked_keyswitch",
+        f"Hoisted raw rotations, {len(offsets)} Galois offsets "
+        f"(N={STACKED_RING_DEGREE}, L={STACKED_MAX_LEVEL}, alpha={ALPHA}, "
+        f"{'quick' if QUICK else 'full'} mode): per-offset inner-product "
+        "loop vs one stacked product-sum",
+        ("path", "wall-clock (ms)", "speedup"),
+        [
+            ("per-offset loop", f"{loop_ms:.2f}", "1.00x"),
+            ("stacked inner products", f"{stacked_ms:.2f}", f"{loop_ms / stacked_ms:.2f}x"),
+        ],
+    )
+    merge_json(
+        "stacked_keyswitch",
+        {
+            "offsets": len(offsets),
+            # This section runs at its own pinned ring (see docstring),
+            # not the session-wide quick/full ring of the config key.
+            "ring_degree": STACKED_RING_DEGREE,
+            "max_level": STACKED_MAX_LEVEL,
+            "stacked_median_ms": round(stacked_med, 3),
+            "loop_median_ms": round(loop_med, 3),
+            "speedup_stacked_vs_loop": round(loop_med / stacked_med, 3),
+        },
+    )
+    assert stacked_ms < loop_ms / 1.15
 
 
 def test_bsgs_matvec_hoisting(setup, record_table):

@@ -56,6 +56,11 @@ FLOORS = {
         "speedup_fused_vs_unfused": (1.2, 1.5),
         "speedup_fused_vs_none": (1.5, 2.0),
     },
+    # Stacked key-switch inner products vs the per-offset loop (both
+    # double-hoisted; the stack removes per-offset Python overhead).
+    "stacked_keyswitch": {
+        "speedup_stacked_vs_loop": (1.15, 1.15),
+    },
     "bootstrap_transforms": {
         "speedup_fused_vs_per_rotation": (1.5, 1.5),
         "speedup_fused_vs_bsgs": (1.05, 1.05),
@@ -81,6 +86,7 @@ REQUIRED_SECTIONS = {
     "BENCH_ckks_hotpath.json": (
         "ops",
         "bsgs_matvec",
+        "stacked_keyswitch",
         "bootstrap_transforms",
         "bootstrap_e2e",
     ),
@@ -91,6 +97,7 @@ REQUIRED_SECTIONS = {
 SECTION_MEDIANS = {
     "ops": ("median_ms", "baseline_median_ms"),
     "bsgs_matvec": ("fused_median_ms", "unfused_median_ms", "none_median_ms"),
+    "stacked_keyswitch": ("stacked_median_ms", "loop_median_ms"),
     "bootstrap_transforms": (
         "fused_median_ms",
         "bsgs_median_ms",

@@ -37,6 +37,20 @@ class FheBackend(abc.ABC):
 
     # -- capacity ---------------------------------------------------------
     @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend hot paths currently dispatch to.
+
+        Resolved by :mod:`repro.kernels` (capability probe, overridable
+        via the ``REPRO_KERNELS`` env var or
+        :func:`repro.kernels.select_backend`).  Every backend is
+        bit-exact; the name is telemetry, not semantics — it is also
+        recorded in :meth:`OpLedger.snapshot` and serve stats.
+        """
+        from repro.kernels import active_backend
+
+        return active_backend()
+
+    @property
     def slot_count(self) -> int:
         return self.params.slot_count
 

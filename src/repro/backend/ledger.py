@@ -91,9 +91,14 @@ class OpLedger:
         )
 
     def snapshot(self) -> Dict[str, float]:
+        from repro.kernels import active_backend
+
         out: Dict[str, float] = {op: self.counts[op] for op in self.TRACKED_OPS}
         out["seconds"] = self.seconds
         out["rotations"] = self.rotations
+        # Which kernel backend produced these charges (numpy / threaded /
+        # numba) — bit-exact across backends, but runs must record it.
+        out["kernel_backend"] = active_backend()
         return out
 
     def merge(self, other: "OpLedger") -> None:

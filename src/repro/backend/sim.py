@@ -260,10 +260,23 @@ class SimBackend(FheBackend):
                 continue
             values = np.zeros(self.slot_count)
             var = 0.0
-            for bi, off in bo_terms:
+            # One batched gather replaces the per-term np.roll calls:
+            # rolled[t, i] = in_cts[bi].values[(i + step) % S], which is
+            # np.roll(x, -step) bit-for-bit.  The term additions stay
+            # sequential (same order as before) so float results are
+            # bit-identical to the per-term loop.
+            idx = np.arange(self.slot_count)
+            step_col = np.array(
+                [[off[1] if isinstance(off, tuple) else off] for _, off in bo_terms]
+            )
+            src = np.stack([in_cts[bi].values for bi, _ in bo_terms])
+            rolled = src[
+                np.arange(len(bo_terms))[:, None],
+                (idx[None, :] + step_col) % self.slot_count,
+            ]
+            for t, (bi, off) in enumerate(bo_terms):
                 vec = terms[(bo, bi, off)]
-                step = off[1] if isinstance(off, tuple) else off
-                values = values + vec * np.roll(in_cts[bi].values, -step)
+                values = values + vec * rolled[t]
                 mag = float(np.max(np.abs(vec))) if np.size(vec) else 0.0
                 var += (in_cts[bi].noise_std * max(mag, 1e-30)) ** 2
             num_rots = len({(bi, off) for bi, off in bo_terms if off})
@@ -281,8 +294,14 @@ class SimBackend(FheBackend):
         single deferred mod-down (the sequential fold instead compounds
         a full key switch per fold step)."""
         values = a.values.copy()
-        for step in steps:
-            values = values + np.roll(a.values, -step)
+        # Batched gather of every rotation (bit-identical to np.roll);
+        # additions stay sequential to keep float bit-identity.
+        idx = np.arange(self.slot_count)
+        step_col = np.array([[s] for s in steps])
+        if len(steps):
+            rolled = a.values[(idx[None, :] + step_col) % self.slot_count]
+            for row in rolled:
+                values = values + row
         num_rots = len(steps)
         ks_std = self._ks_noise * np.sqrt(num_rots + 1.0)
         values = values + self._noise(self.slot_count, ks_std)

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.backend.costs import CostModel
 from repro.backend.interface import FheBackend, ScaleLike
 from repro.ckks.ciphertext import Ciphertext, Plaintext
@@ -112,6 +113,7 @@ class ToyBackend(FheBackend):
         num_out: int,
         pt_scale: ScaleLike,
         pt_cache: Optional[Dict] = None,
+        _max_chunk: Optional[int] = None,
     ) -> Optional[List[Optional[Ciphertext]]]:
         """Exact fused diagonal accumulation (true double hoisting).
 
@@ -122,6 +124,14 @@ class ToyBackend(FheBackend):
         are summed lazily in int64 (the chunked-reduction trick of
         ``_ks_inner``) and a single ``_ks_moddown`` per output block
         replaces the per-rotation mod-downs of the unfused path.
+
+        The per-term Python loop only *collects* terms; the arithmetic
+        runs as grouped stacked product-sums per output block (rotated
+        terms against their raw accumulators and transformed c0s, plain
+        terms against the input c0/c1 pair), each one dispatch through
+        the ``ks_inner`` kernel.  Modular sums are invariant under this
+        regrouping, so outputs stay bit-identical to the per-term loop;
+        ``_max_chunk`` forces the chunked int64 fallback for tests.
         """
         ctx = self.context
         level = in_cts[0].level
@@ -151,19 +161,14 @@ class ToyBackend(FheBackend):
             if off:
                 offsets_by_bi.setdefault(bi, set()).add(off)
         raw = {
-            bi: ctx.rotate_hoisted_raw(in_cts[bi], offs)
+            bi: ctx.rotate_hoisted_raw(in_cts[bi], offs, _max_chunk)
             for bi, offs in offsets_by_bi.items()
         }
 
         # Lazy int64 accumulation: `chunk` products fit between
         # reductions (entries stay < max_q after each `%` pass).
-        max_q = max(ks_chain)
-        chunk = (2**63 - 1 - (max_q - 1)) // ((max_q - 1) ** 2)
-        if chunk < 1:
-            raise ValueError(
-                f"key-switch primes near 2^{max_q.bit_length()} overflow the "
-                "int64 lazy accumulator; the exact backend needs < 32-bit primes"
-            )
+        chunk = kernels.lazy_reduction_chunk(max(ks_chain), _max_chunk)
+        ks_inner = kernels.get("ks_inner")
         outputs: List[Optional[Ciphertext]] = []
         for bo in range(num_out):
             bo_terms = sorted(
@@ -173,11 +178,15 @@ class ToyBackend(FheBackend):
             if not bo_terms:
                 outputs.append(None)
                 continue
-            acc_ext = np.zeros((2, len(ks_chain), basis.ring_degree), dtype=np.int64)
-            acc_c0 = np.zeros((len(data_primes), basis.ring_degree), dtype=np.int64)
-            acc_c1 = None
-            pending_ext = pending_q = 0
-            has_rotated = False
+            # Collect terms into two groups; all arithmetic below runs
+            # as stacked product-sums over the term axis.
+            rot_pts: List[np.ndarray] = []
+            rot_exts: List[np.ndarray] = []
+            rot0s: List[np.ndarray] = []
+            rot_accs: List[np.ndarray] = []
+            plain_pts: List[np.ndarray] = []
+            plain_c0s: List[np.ndarray] = []
+            plain_c1s: List[np.ndarray] = []
             for bi, off in bo_terms:
                 entry = cache.get((bo, bi, off, cache_fp))
                 if entry is None:
@@ -188,35 +197,45 @@ class ToyBackend(FheBackend):
                     entry = (pt, pt_ext)
                     cache[(bo, bi, off, cache_fp)] = entry
                 pt, pt_ext = entry
-                if pending_q == chunk:
-                    acc_c0 %= mod_q
-                    if acc_c1 is not None:
-                        acc_c1 %= mod_q
-                    pending_q = 0
                 if off:
                     rot0, acc = raw[bi][off]
-                    acc_c0 += pt.poly.data * rot0.data
-                    if pending_ext == chunk:
-                        acc_ext %= mod_ks
-                        pending_ext = 0
-                    acc_ext += pt_ext * acc
-                    pending_ext += 1
-                    has_rotated = True
+                    rot_pts.append(pt.poly.data)
+                    rot_exts.append(pt_ext)
+                    rot0s.append(rot0.data)
+                    rot_accs.append(acc)
                 else:
-                    acc_c0 += pt.poly.data * in_cts[bi].c0.data
-                    if acc_c1 is None:
-                        acc_c1 = np.zeros_like(acc_c0)
-                    acc_c1 += pt.poly.data * in_cts[bi].c1.data
-                pending_q += 1
-            acc_c0 %= mod_q
-            if acc_c1 is not None:
-                acc_c1 %= mod_q
-            if has_rotated:
-                p0, p1 = ctx._ks_moddown(acc_ext % mod_ks, level)
-                c0_data = (acc_c0 + p0.data) % mod_q
-                c1_data = p1.data if acc_c1 is None else (acc_c1 + p1.data) % mod_q
+                    plain_pts.append(pt.poly.data)
+                    plain_c0s.append(in_cts[bi].c0.data)
+                    plain_c1s.append(in_cts[bi].c1.data)
+            if plain_pts:
+                # One (2, T_plain, limbs, N) stack: c0 and c1 rows of
+                # every off==0 input against the same weight stack.
+                plain_acc = ks_inner(
+                    np.stack(plain_pts),
+                    np.stack([np.stack(plain_c0s), np.stack(plain_c1s)]),
+                    mod_q,
+                    chunk,
+                )
+            if rot_pts:
+                acc_ext = ks_inner(
+                    np.stack(rot_exts),
+                    np.swapaxes(np.stack(rot_accs), 0, 1),
+                    mod_ks,
+                    chunk,
+                )
+                rot_c0 = ks_inner(
+                    np.stack(rot_pts), np.stack(rot0s)[None], mod_q, chunk
+                )[0]
+                p0, p1 = ctx._ks_moddown(acc_ext, level)
+                c0_data = rot_c0 + p0.data
+                c1_data = p1.data
+                if plain_pts:
+                    c0_data = (c0_data + plain_acc[0]) % mod_q
+                    c1_data = (c1_data + plain_acc[1]) % mod_q
+                else:
+                    c0_data %= mod_q
             else:
-                c0_data, c1_data = acc_c0, acc_c1
+                c0_data, c1_data = plain_acc[0], plain_acc[1]
             outputs.append(
                 Ciphertext(
                     c0=RnsPolynomial(basis, data_primes, c0_data, is_ntt=True),
@@ -246,14 +265,12 @@ class ToyBackend(FheBackend):
         data_primes = ctx._data_chain(level)
         mod_ks = ctx.basis.moduli_column(ks_chain)
         mod_q = ctx.basis.moduli_column(data_primes)
-        acc_ext = np.zeros((2, len(ks_chain), ctx.basis.ring_degree), dtype=np.int64)
-        c0_data = a.c0.data.astype(np.int64, copy=True)
         # Entries stay < max prime (~2^31), so len(steps)+1 summands fit
-        # int64 with > 2^31 headroom: no intermediate reductions needed.
-        for step in steps:
-            rot0, acc = raw[step]
-            acc_ext += acc
-            c0_data += rot0.data
+        # int64 with > 2^31 headroom: one stacked sum per accumulator,
+        # no intermediate reductions needed.
+        pairs = [raw[step] for step in steps]
+        acc_ext = np.sum(np.stack([acc for _, acc in pairs]), axis=0)
+        c0_data = a.c0.data + np.sum(np.stack([rot0.data for rot0, _ in pairs]), axis=0)
         p0, p1 = ctx._ks_moddown(acc_ext % mod_ks, level)
         c0_data = (c0_data + p0.data) % mod_q
         c1_data = (a.c1.data + p1.data) % mod_q

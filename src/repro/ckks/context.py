@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.encoding import get_encoder
 from repro.ckks.galois import galois_offset_key
@@ -64,6 +65,9 @@ class CkksContext:
             params.primes, params.ring_degree, num_special=params.num_special_primes
         )
         self.encoder = get_encoder(params.ring_degree)
+        # (exponents, ks_chain, num_digits) -> (per-key tensor ids, stacked
+        # (O, 2, digits, ks_limbs, N) key tensor); see _stacked_key_tensors.
+        self._stacked_key_cache: Dict = {}
         self.keys = self._generate_keys()
 
     # ------------------------------------------------------------------
@@ -626,6 +630,59 @@ class CkksContext:
             key.cache[cache_key] = tensor
         return tensor
 
+    def _stacked_key_tensors(
+        self, exponents, keys, level: int
+    ) -> np.ndarray:
+        """All requested switching keys stacked as one contiguous
+        ``(O, 2, digits, ks_limbs, N)`` tensor for the stacked inner
+        product, cached per (exponent set, ks chain).
+
+        Each key's slot axis is stored *inverse-permuted*: with
+        ``ba_inv[o][..., perm_o] == ba[o]`` the stacked product-sum can
+        run directly against the UN-permuted shared digit tensor —
+
+            acc[o, c, k, n] = sum_d digits[d, k, perm_o[n]] * ba[o, c, d, k, n]
+                            = (sum_d digits * ba_inv[o])[c, k, perm_o[n]]
+
+        so the per-call Galois gather moves only the small ``(O, 2,
+        ks_limbs, N)`` accumulator instead of the D-times-larger digit
+        stack, and the digit tensor stays cache-resident across the
+        whole offset axis.  The permutation cost lands here, once per
+        cache fill.
+
+        The cache is validated against the *identity* of the per-key
+        tensors: :meth:`galois_key` / :meth:`generate_compressed_galois_key`
+        may replace a key object (e.g. regenerating a compressed key
+        with a higher bound), and a stale stack must never outlive the
+        keys it was built from.  The entry holds strong references to
+        the source tensors so the ``is`` comparison cannot be fooled by
+        a recycled allocation (``id()`` values are reusable after GC).
+        """
+        tensors = [self._key_tensors(key, level) for key in keys]
+        cache_key = (
+            tuple(exponents),
+            self._ks_chain(level),
+            self._ks_num_digits(level),
+        )
+        hit = self._stacked_key_cache.get(cache_key)
+        if (
+            hit is not None
+            and len(hit[0]) == len(tensors)
+            and all(old is new for old, new in zip(hit[0], tensors))
+        ):
+            return hit[1]
+        n = self.params.ring_degree
+        inv = np.empty(n, dtype=np.int64)
+        rows = []
+        for exponent, tensor in zip(exponents, tensors):
+            inv[galois_eval_permutation(n, exponent)] = np.arange(n)
+            # np.take (unlike tensor[..., inv]) returns a C-contiguous
+            # row — the layout the stacked einsum streams fastest.
+            rows.append(np.take(tensor, inv, axis=-1))
+        stacked = np.stack(rows)
+        self._stacked_key_cache[cache_key] = (tensors, stacked)
+        return stacked
+
     def _ks_inner(
         self,
         digits: np.ndarray,
@@ -637,26 +694,19 @@ class CkksContext:
 
         Returns a ``(2, ks_limbs, N)`` evaluation-form tensor holding
         both accumulators.  Products are summed lazily in int64 —
-        ``chunk`` digits fit before a reduction is needed, so the hot
-        path performs a single ``%`` on the small accumulator instead of
-        one full-size ``%`` per digit product.  ``_max_chunk`` caps the
+        :func:`repro.kernels.lazy_reduction_chunk` digits fit before a
+        reduction is needed, so the hot path performs a single ``%`` on
+        the small accumulator instead of one full-size ``%`` per digit
+        product.  The product-sum dispatches through the ``ks_inner``
+        kernel (every backend is bit-exact).  ``_max_chunk`` caps the
         chunk size (tests use it to force the chunked fallback that
         real parameter sets only hit with ~31-bit primes).
         """
         ks_chain = self._ks_chain(level)
         ba = self._key_tensors(key, level)
         mod_col = self.basis.moduli_column(ks_chain)
-        num_digits = digits.shape[0]
-        chunk = (2**63 - 1) // ((max(ks_chain) - 1) ** 2)
-        if _max_chunk is not None:
-            chunk = min(chunk, _max_chunk)
-        if num_digits <= chunk:
-            return (digits * ba).sum(axis=1) % mod_col
-        acc = np.zeros((2, len(ks_chain), digits.shape[-1]), dtype=np.int64)
-        for start in range(0, num_digits, chunk):
-            part = digits[start : start + chunk] * ba[:, start : start + chunk]
-            acc += part.sum(axis=1) % mod_col
-        return acc % mod_col
+        chunk = kernels.lazy_reduction_chunk(max(ks_chain), _max_chunk)
+        return kernels.get("ks_inner")(digits, ba, mod_col, chunk)
 
     def _ks_moddown(self, acc: np.ndarray, level: int):
         """Divide both accumulators by the special modulus P.
@@ -700,7 +750,12 @@ class CkksContext:
             )
         return self.encoder.rotation_exponent(offset)
 
-    def rotate_hoisted_raw(self, ct: Ciphertext, steps_list: Iterable) -> Dict:
+    def rotate_hoisted_raw(
+        self,
+        ct: Ciphertext,
+        steps_list: Iterable,
+        _max_chunk: Optional[int] = None,
+    ) -> Dict:
         """Hoisted Galois maps left in the extended Q_l * P basis.
 
         Shares one key-switch digit decomposition of ``ct.c1`` across
@@ -710,6 +765,19 @@ class CkksContext:
         the transformed c0 over Q_l and ``acc`` is the raw
         ``(2, ks_limbs, N)`` evaluation-form key-switch accumulator
         still over Q_l * P.
+
+        With more than one offset the per-offset ``_ks_inner`` loop is
+        replaced by ONE stacked product-sum: the shared digit tensor is
+        multiplied against the cached ``(O, 2, digits, ks_limbs, N)``
+        stack of inverse-permuted switching keys in a single dispatch
+        through the ``ks_inner_stacked`` kernel, and only the small
+        resulting accumulator is Galois-permuted — in one flat gather
+        over the fused offset-slot axis (see
+        :meth:`_stacked_key_tensors` for why the two formulations are
+        the same sum, element by element).  The stacked path preserves
+        the lazy int64 chunked reduction exactly (modular sums are
+        invariant under regrouping), so results are bit-identical to the
+        loop; ``_max_chunk`` forces the chunked fallback for tests.
 
         Offsets are plain rotation steps (``int``) or conjugation-
         composed elements ``("conj", k)`` — conjugate, then rotate by
@@ -742,13 +810,39 @@ class CkksContext:
             return outputs
         digits = self._ks_decompose(ct.c1, ct.level)
         n = self.params.ring_degree
-        for offset in nonzero:
-            exponent = self.galois_offset_exponent(offset)
-            key = self.galois_key(exponent, max_level=ct.level)
-            perm = galois_eval_permutation(n, exponent)
-            acc = self._ks_inner(digits[..., perm], key, ct.level)
-            rot0 = ct.c0.automorphism(exponent)
-            outputs[offset] = (rot0, acc)
+        level = ct.level
+        exponents = [self.galois_offset_exponent(o) for o in nonzero]
+        keys = [self.galois_key(e, max_level=level) for e in exponents]
+        if len(nonzero) == 1:
+            # One offset: the stacking overhead buys nothing.
+            perm = galois_eval_permutation(n, exponents[0])
+            acc = self._ks_inner(digits[..., perm], keys[0], level, _max_chunk)
+            outputs[nonzero[0]] = (ct.c0.automorphism(exponents[0]), acc)
+            return outputs
+        perms = np.stack([galois_eval_permutation(n, e) for e in exponents])
+        ba_inv = self._stacked_key_tensors(exponents, keys, level)
+        ks_chain = self._ks_chain(level)
+        mod_col = self.basis.moduli_column(ks_chain)
+        chunk = kernels.lazy_reduction_chunk(max(ks_chain), _max_chunk)
+        num = len(nonzero)
+        pre = kernels.get("ks_inner_stacked")(digits, ba_inv, mod_col, chunk)
+        # The (C, K, O, N) layout fuses the offset and slot axes, so all
+        # O accumulator permutations are ONE flat gather.
+        flat_idx = (np.arange(num)[:, None] * n + perms).reshape(-1)
+        acc_flat = np.take(
+            pre.reshape(2, len(ks_chain), num * n), flat_idx, axis=-1
+        )
+        accs = np.moveaxis(acc_flat.reshape(2, len(ks_chain), num, n), 2, 0)
+        if ct.c0.is_ntt:
+            rot0_data = kernels.get("galois_gather")(ct.c0.data, perms)
+            rot0s = [
+                RnsPolynomial(self.basis, ct.c0.primes, rot0_data[i], is_ntt=True)
+                for i in range(len(nonzero))
+            ]
+        else:
+            rot0s = [ct.c0.automorphism(e) for e in exponents]
+        for i, offset in enumerate(nonzero):
+            outputs[offset] = (rot0s[i], accs[i])
         return outputs
 
     def rotate_hoisted(self, ct: Ciphertext, steps_list: Iterable[int]) -> Dict[int, Ciphertext]:

@@ -1,0 +1,32 @@
+"""Runtime-dispatched hot-path kernels (stacked inner products, NTT stages).
+
+See :mod:`repro.kernels.dispatch` for the registry/selection contract and
+:mod:`repro.kernels.ops` for the kernel implementations.  ``docs/kernels.md``
+documents how to add a backend.
+"""
+
+from repro.kernels.dispatch import (
+    BACKEND_NAMES,
+    ENV_VAR,
+    KernelDispatchError,
+    KernelRegistry,
+    active_backend,
+    get,
+    numba_available,
+    registry,
+    select_backend,
+)
+from repro.kernels.ops import lazy_reduction_chunk
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ENV_VAR",
+    "KernelDispatchError",
+    "KernelRegistry",
+    "active_backend",
+    "get",
+    "lazy_reduction_chunk",
+    "numba_available",
+    "registry",
+    "select_backend",
+]

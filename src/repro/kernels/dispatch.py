@@ -1,0 +1,196 @@
+"""Runtime kernel-dispatch registry.
+
+The hot-path inner loops — NTT butterfly stages, Galois gathers of the
+key-switch digit tensor, and the stacked key-switch inner products —
+are factored behind this registry as *named kernels*, each with one or
+more interchangeable *backend* implementations:
+
+- ``numpy``   — the pure-numpy reference.  Always present; the
+  correctness baseline every other backend is tested against.
+- ``threaded``— slab-parallel numpy via a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor` (numpy releases the
+  GIL inside its ufunc loops, so limb-slab threads genuinely overlap).
+- ``numba``   — optional JIT-compiled loops; only selectable when numba
+  imports.
+
+Selection mirrors ISA-dispatched CPU kernels (pick the implementation
+per machine capability, keep the algorithm fixed): a capability probe
+(``os.cpu_count()``, numba importability) chooses the default, the
+``REPRO_KERNELS`` environment variable or :func:`select_backend`
+overrides it, and the resolved name is surfaced through
+``OpLedger.snapshot()`` / serve telemetry so a run always records which
+kernels produced it.  Every backend of every kernel is bit-exact with
+the reference — dispatch changes wall-clock, never results.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+ENV_VAR = "REPRO_KERNELS"
+
+#: Probe / selection order.  "auto" resolves via :meth:`KernelRegistry.probe`.
+BACKEND_NAMES = ("numpy", "threaded", "numba")
+
+
+class KernelDispatchError(RuntimeError):
+    """Unknown kernel or unavailable/unselectable backend."""
+
+
+def numba_available() -> bool:
+    """Capability probe: can the optional numba backend be imported?"""
+    return importlib.util.find_spec("numba") is not None
+
+
+class KernelRegistry:
+    """Named kernels with runtime-selectable backend implementations.
+
+    One process-global instance (:data:`registry`) is shared by every
+    context/backend; tests may instantiate private registries.
+
+    Selection precedence (first match wins):
+
+    1. :meth:`select` — the API override (``None`` clears it);
+    2. ``REPRO_KERNELS`` environment variable (re-read whenever it
+       changes, so a test may monkeypatch it mid-process);
+    3. the capability probe: ``threaded`` when ``os.cpu_count() > 1``,
+       else ``numpy``.  The probe never auto-selects ``numba`` — JIT
+       warm-up dominates at toy ring sizes, so the compiled path is a
+       deliberate opt-in even where it imports.
+
+    A kernel missing an implementation for the selected backend falls
+    back to its ``numpy`` reference (so registering a threaded variant
+    for *one* kernel never forces threading everywhere).
+    """
+
+    def __init__(self):
+        self._impls: Dict[str, Dict[str, Callable]] = {}
+        self._override: Optional[str] = None
+        # (env value at resolve time, resolved backend) — invalidated
+        # whenever the env var changes or select() is called.
+        self._resolved: Optional[Tuple[Optional[str], str]] = None
+
+    # -- registration ------------------------------------------------------
+    def register(self, kernel: str, backend: str, fn: Optional[Callable] = None):
+        """Register ``fn`` as the ``backend`` implementation of ``kernel``.
+
+        Usable directly or as a decorator::
+
+            @registry.register("ks_inner", "numpy")
+            def _ks_inner_numpy(...): ...
+        """
+        if backend not in BACKEND_NAMES:
+            raise KernelDispatchError(
+                f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+            )
+
+        def _add(impl: Callable) -> Callable:
+            self._impls.setdefault(kernel, {})[backend] = impl
+            return impl
+
+        return _add if fn is None else _add(fn)
+
+    def kernels(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._impls))
+
+    def backends_for(self, kernel: str) -> Tuple[str, ...]:
+        impls = self._impls.get(kernel)
+        if impls is None:
+            raise KernelDispatchError(f"unknown kernel {kernel!r}")
+        return tuple(name for name in BACKEND_NAMES if name in impls)
+
+    # -- selection ---------------------------------------------------------
+    def available_backends(self) -> Tuple[str, ...]:
+        """Backends selectable on this machine (capability-gated)."""
+        names = ["numpy", "threaded"]
+        if numba_available():
+            names.append("numba")
+        return tuple(names)
+
+    def probe(self) -> str:
+        """Capability-probed default backend for this machine."""
+        cpus = os.cpu_count() or 1
+        return "threaded" if cpus > 1 else "numpy"
+
+    def select(self, backend: Optional[str]) -> str:
+        """API override of the active backend (``None`` restores auto).
+
+        Returns the backend now active.  Selecting an unavailable
+        backend (e.g. ``numba`` without numba installed) fails loudly
+        here, not deep inside a kernel call.
+        """
+        if backend is not None:
+            self._check_selectable(backend)
+        self._override = backend
+        self._resolved = None
+        return self.active
+
+    def _check_selectable(self, backend: str) -> None:
+        if backend == "auto":
+            return
+        if backend not in BACKEND_NAMES:
+            raise KernelDispatchError(
+                f"unknown kernel backend {backend!r}; expected one of "
+                f"{BACKEND_NAMES + ('auto',)}"
+            )
+        if backend not in self.available_backends():
+            raise KernelDispatchError(
+                f"kernel backend {backend!r} is not available on this "
+                "machine (is numba installed?)"
+            )
+
+    @property
+    def active(self) -> str:
+        """The backend name dispatch currently resolves to."""
+        env = os.environ.get(ENV_VAR)
+        if self._resolved is not None and self._resolved[0] == env:
+            return self._resolved[1]
+        if self._override is not None:
+            name = self._override
+        elif env:
+            self._check_selectable(env)
+            name = self.probe() if env == "auto" else env
+        else:
+            name = self.probe()
+        self._resolved = (env, name)
+        return name
+
+    # -- dispatch ----------------------------------------------------------
+    def get(self, kernel: str) -> Callable:
+        """The ``kernel`` implementation for the active backend.
+
+        Falls back to the ``numpy`` reference when the active backend
+        has no implementation of this kernel.
+        """
+        impls = self._impls.get(kernel)
+        if impls is None:
+            raise KernelDispatchError(f"unknown kernel {kernel!r}")
+        fn = impls.get(self.active)
+        if fn is None:
+            fn = impls.get("numpy")
+            if fn is None:
+                raise KernelDispatchError(
+                    f"kernel {kernel!r} has no numpy reference implementation"
+                )
+        return fn
+
+
+#: The process-global registry every hot path dispatches through.
+registry = KernelRegistry()
+
+
+def get(kernel: str) -> Callable:
+    """Shorthand for ``registry.get(kernel)`` (the hot-path entry)."""
+    return registry.get(kernel)
+
+
+def active_backend() -> str:
+    """The globally active kernel backend name (telemetry hook)."""
+    return registry.active
+
+
+def select_backend(backend: Optional[str]) -> str:
+    """Override the globally active backend (``None`` restores auto)."""
+    return registry.select(backend)

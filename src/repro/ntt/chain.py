@@ -22,6 +22,7 @@ from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.ntt.transform import NttContext, _bit_reverse_cache
 
 
@@ -132,6 +133,10 @@ class NttChainEngine:
         growth += 1
         # One scratch buffer holds every stage's twiddle products.
         scratch = np.empty(shape[:-1] + (n // 2,), dtype=np.int64)
+        # Hoisted kernel lookup: one dispatch for the whole transform.
+        # Every backend of "ntt_stage" performs the identical lazy
+        # butterfly (one %, one add, one subtract) in place.
+        ntt_stage = kernels.get("ntt_stage")
         half = 2
         stage = 1
         while half < n:
@@ -140,19 +145,10 @@ class NttChainEngine:
                 # next twiddle product fits in int64 again.
                 a %= tables.q
                 growth = 1
-            span = half * 2
-            blocks = a.reshape(shape[:-1] + (n // span, span))
-            left = blocks[..., :half]
-            right = blocks[..., half:]
-            # Lazy butterfly: one %, one add, one subtract.  Signed
-            # drift is bounded by +q per stage and repaired at the end.
-            t = scratch.reshape(shape[:-1] + (n // span, half))
-            np.multiply(right, stages[stage], out=t)
-            t %= q3
-            np.subtract(left, t, out=right)
-            left += t
+            # Signed drift is bounded by +q per stage, repaired at the end.
+            ntt_stage(a, stages[stage], q3, scratch, half)
             growth += 1
-            half = span
+            half *= 2
             stage += 1
         return a, growth
 

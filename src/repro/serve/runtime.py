@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.backend.ledger import LatencyHistogram, OpLedger
 from repro.core.program import ExecutionState
 from repro.serve.scheduler import Batch, SlotBatchingScheduler
@@ -237,6 +238,7 @@ class InferenceServer:
             "placements_since_load": self.placements_since_load,
             "request_latency": self.request_latency.snapshot(),
             "modeled_seconds": self.ledger.seconds,
+            "kernel_backend": kernels.active_backend(),
             "ops": {
                 op: histogram.snapshot()
                 for op, histogram in sorted(self.op_histograms.items())
