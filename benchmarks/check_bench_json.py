@@ -77,6 +77,12 @@ FLOORS = {
     "serving": {
         "speedup_batched_vs_single": (2.0, 2.0),
     },
+    # Trace-level graph optimizer (concat-linear fusion + rotation
+    # passes) end to end on a branchy sibling-conv network vs the
+    # un-optimized reference compilation of the same network.
+    "graph_opt": {
+        "speedup_optimized_vs_unoptimized": (1.2, 1.2),
+    },
 }
 
 # Which gated sections each benchmark JSON is responsible for carrying
@@ -89,6 +95,7 @@ REQUIRED_SECTIONS = {
         "stacked_keyswitch",
         "bootstrap_transforms",
         "bootstrap_e2e",
+        "graph_opt",
     ),
     "BENCH_serving.json": ("serving",),
 }
@@ -105,6 +112,7 @@ SECTION_MEDIANS = {
     ),
     "bootstrap_e2e": ("shared_median_ms", "pre_pr_median_ms"),
     "serving": ("single_request_median_ms", "batched_request_median_ms"),
+    "graph_opt": ("optimized_median_ms", "unoptimized_median_ms"),
 }
 
 

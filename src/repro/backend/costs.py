@@ -257,6 +257,29 @@ class CostModel:
             + num_out * self.ks_moddown(level)
         )
 
+    def sibling_fusion_gain(
+        self,
+        level: int,
+        num_in: int,
+        total_offsets: int,
+        merged_offsets: int,
+        num_siblings: int,
+    ) -> float:
+        """Modeled win of concat-fusing sibling matvecs (graph optimizer).
+
+        Separately, each of the ``num_siblings`` layers pays its own
+        digit decomposition per input block and its own inner products
+        (``total_offsets`` across all siblings); merged, one
+        decomposition per input block covers everyone and shared
+        (input block, offset) pairs collapse to ``merged_offsets``
+        inner products.  PMults, adds, mod-downs, and folds are
+        unchanged by the merge; the merged layer does save all but one
+        rescale, which this conservatively ignores.
+        """
+        saved_decompose = (num_siblings - 1) * num_in * self.ks_decompose(level)
+        saved_inner = (total_offsets - merged_offsets) * self.ks_inner_fused(level)
+        return saved_decompose + saved_inner
+
     def matvec_cost(
         self,
         level: int,

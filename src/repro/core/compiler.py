@@ -18,6 +18,8 @@ Pipeline (paper Sections 4-6):
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -28,9 +30,15 @@ from repro.ckks.params import CkksParameters
 from repro.core.approx.chebyshev import chebyshev_fit
 from repro.core.approx.evaluator import poly_eval_ops
 from repro.core.approx.sign import CompositeSign
-from repro.core.packing.analysis import analyze_conv_packing
-from repro.core.packing.layouts import MultiplexedLayout
-from repro.core.packing.matvec import build_conv_packing, build_linear_packing
+from repro.core.graphopt import OptContext, optimize_graph
+from repro.core.graphopt.passes import sibling_profile
+from repro.core.packing.analysis import analyze_conv_packing, merged_packing_stats
+from repro.core.packing.layouts import MultiplexedLayout, VectorLayout
+from repro.core.packing.matvec import (
+    build_conv_packing,
+    build_linear_packing,
+    merge_packed_matvecs,
+)
 from repro.core.placement.items import (
     JoinSpec,
     LayerSpec,
@@ -45,6 +53,8 @@ from repro.core.program import (
     LinearInstr,
     MultJoinInstr,
     PolyInstr,
+    RotateInstr,
+    SliceInstr,
     SquareInstr,
 )
 from repro.core.ranges import RangeEstimate, estimate_ranges
@@ -75,6 +85,8 @@ class CompiledNetwork:
     layer_reports: List[LayerReport]
     multiplicative_depth: int
     compile_seconds: float = 0.0
+    graph_opt_seconds: float = 0.0
+    graph_opt_report: object = None
 
     @property
     def total_rotations(self) -> int:
@@ -119,6 +131,7 @@ class CompiledNetwork:
             "modeled_seconds": self.modeled_seconds,
             "placement_seconds": self.placement.solve_seconds,
             "compile_seconds": self.compile_seconds,
+            "graph_opt_seconds": self.graph_opt_seconds,
         }
 
 
@@ -136,12 +149,17 @@ class OrionCompiler:
         params: CkksParameters,
         cost_model: Optional[CostModel] = None,
         mode: str = "materialize",
+        optimize: Optional[bool] = None,
     ):
         if mode not in ("materialize", "analyze"):
             raise ValueError("mode must be 'materialize' or 'analyze'")
         self.params = params
         self.costs = cost_model or CostModel(params)
         self.mode = mode
+        if optimize is None:
+            flag = os.environ.get("REPRO_GRAPH_OPT", "on").strip().lower()
+            optimize = flag not in ("off", "0", "false", "no")
+        self.optimize = optimize
 
     # ------------------------------------------------------------------
     def compile(
@@ -151,16 +169,31 @@ class OrionCompiler:
         calibration_batches: Optional[List[np.ndarray]] = None,
         entry_level: Optional[int] = None,
     ) -> CompiledNetwork:
-        import time
-
         OrionCompiler.invocations += 1
         start = time.perf_counter()
         net.eval()
         graph = self._trace(net, input_shape)
-        tree = build_region_tree(graph)
         folded = self._fold_batchnorms(graph)
         ranges = self._ranges(net, graph, calibration_batches, input_shape)
 
+        # Graph-level optimizer: cost-gated rewrites over the traced DAG
+        # (docs/graphopt.md).  Runs after range estimation — rewrites
+        # preserve the original value ids their results flow into, so
+        # the estimates stay valid — and before region parsing.
+        graph_opt_seconds = 0.0
+        graph_opt_report = None
+        if self.optimize:
+            opt_start = time.perf_counter()
+            ctx = OptContext(
+                params=self.params,
+                costs=self.costs,
+                input_shape=tuple(input_shape),
+                folded=folded,
+            )
+            graph_opt_report = optimize_graph(graph, ctx)
+            graph_opt_seconds = time.perf_counter() - opt_start
+
+        tree = build_region_tree(graph)
         build = _ProgramBuilder(self, graph, folded, ranges, input_shape)
         build.walk(tree)
 
@@ -171,10 +204,20 @@ class OrionCompiler:
             entry_level=entry_level,
         )
         policy = placement.policy_map()
+        level_by_uid: Dict[int, int] = {}
         for instr in build.instructions:
-            decision = policy[instr.name]
-            instr.exec_level = decision.exec_level
-            instr.boots_before = decision.bootstrap_before
+            decision = policy.get(instr.name)
+            if decision is not None:
+                instr.exec_level = decision.exec_level
+                instr.boots_before = decision.bootstrap_before
+            else:
+                # Chain-less instructions (SliceInstr is free and holds
+                # no placement item): inherit the producer's level.
+                instr.exec_level = level_by_uid.get(
+                    getattr(instr, "in_uid", -1), placement.entry_level
+                )
+                instr.boots_before = 0
+            level_by_uid[instr.out_uid] = instr.exec_level
 
         program = None
         if self.mode == "materialize":
@@ -196,6 +239,8 @@ class OrionCompiler:
             layer_reports=build.reports,
             multiplicative_depth=build.chain.total_depth(),
             compile_seconds=time.perf_counter() - start,
+            graph_opt_seconds=graph_opt_seconds,
+            graph_opt_report=graph_opt_report,
         )
 
     # ------------------------------------------------------------------
@@ -229,13 +274,18 @@ class OrionCompiler:
                 and getattr(producer.module, "orion_kind", None) == "linear"
                 and hasattr(producer.module, "weight")
                 and producer.module.weight is not None
-                and getattr(producer.module, "kernel_size", None) is not None
             ):
                 scale, shift = node.module.folded_affine()
-                conv = producer.module
-                weight = conv.weight.data * scale[:, None, None, None]
-                if conv.bias is not None:
-                    base_bias = conv.bias.data
+                lin = producer.module
+                base_weight = lin.weight.data
+                if base_weight.ndim == 4:  # convolution
+                    weight = base_weight * scale[:, None, None, None]
+                elif base_weight.ndim == 2:  # dense Linear
+                    weight = base_weight * scale[:, None]
+                else:
+                    continue
+                if lin.bias is not None:
+                    base_bias = lin.bias.data
                 else:
                     base_bias = np.zeros(weight.shape[0])
                 bias = base_bias * scale + shift
@@ -350,6 +400,12 @@ class _ProgramBuilder:
             return self._emit_relu(node, chain)
         if kind == "poly":
             return self._emit_poly(node, chain)
+        if kind == "fused_linear":
+            return self._emit_fused_linear(node, chain)
+        if kind == "slice":
+            return self._emit_slice(node)
+        if kind == "rotate":
+            return self._emit_rotate(node, chain)
         raise ValueError(f"unsupported node kind {kind!r} for {node.name}")
 
     # -- linear layers -----------------------------------------------------
@@ -492,6 +548,144 @@ class _ProgramBuilder:
             "cost_obj": _StatsCost(stats),
         }
 
+    # -- graph-optimizer rewrite artifacts ---------------------------------
+    def _emit_fused_linear(self, node, chain: PlacementChain) -> int:
+        """Lower a FusedLinear rewrite: pack every sibling against the
+        shared input, merge into one stacked matvec.
+
+        Bit-exactness bookkeeping: the pending scale factor (if any) is
+        popped once and applied to the *first* sibling only — exactly
+        what the un-optimized lowering does, where the first consumer
+        pops it and later siblings see 1.0.
+        """
+        fmod = node.module
+        in_uid = self._resolve(node.inputs[0])
+        in_layout = self.layouts[in_uid]
+        mode = self.compiler.mode
+        m_in = self.ranges.norm(in_uid)
+        pending = self.pending.pop(in_uid, 1.0)
+
+        packeds = []
+        profiles = []
+        for part, (sib, term_uid) in enumerate(
+            zip(fmod.siblings, fmod.terminal_uids)
+        ):
+            module = sib.module
+            if sib.index in self.folded:
+                weight, bias = self.folded[sib.index]
+            else:
+                weight = module.weight.data
+                bias = module.bias.data if module.bias is not None else None
+            m_out = self.ranges.norm(term_uid)
+            factor = (m_in / m_out) * (pending if part == 0 else 1.0)
+            weight = weight * factor
+            if bias is not None:
+                bias = np.asarray(bias) / m_out
+            sub_name = f"{node.name}/{sib.name}"
+            if getattr(module, "kernel_size", None) is not None:
+                packed, _ = self._pack_conv(
+                    weight, bias, in_layout, module.stride, module.padding,
+                    module.dilation, module.groups, sub_name, mode,
+                )
+            else:
+                packed, _ = self._pack_fc(weight, bias, in_layout, sub_name, mode)
+            packeds.append(packed)
+            if mode == "analyze":
+                profiles.append(sibling_profile(module, in_layout))
+
+        if mode == "materialize":
+            merged = merge_packed_matvecs(packeds, name=node.name)
+            out_layout = merged.out_layout
+            rotations = merged.rotation_count()
+            pmults = merged.pmult_count()
+            cost_obj = _MatVecCost(merged)
+        else:
+            merged = None
+            stats = merged_packing_stats(profiles)
+            out_layout = stats.out_layout
+            rotations = stats.rotations
+            pmults = stats.pmults
+            cost_obj = _StatsCost(stats)
+
+        self.layouts[node.output] = out_layout
+        costs = self.compiler.costs
+        chain.items.append(
+            LayerSpec(
+                node.name,
+                depth=1,
+                cost_fn=lambda l, c=cost_obj: c.cost(l, costs),
+                boot_units=in_layout.num_ciphertexts,
+                cost_obj=cost_obj,
+            )
+        )
+        self.instructions.append(
+            LinearInstr(
+                name=node.name, out_uid=node.output, exec_level=0,
+                boots_before=0, in_uid=in_uid, packed=merged,
+            )
+        )
+        self.reports.append(
+            LayerReport(
+                name=node.name,
+                kind="linear",
+                rotations=rotations,
+                pmults=pmults,
+                depth=1,
+                num_cts=out_layout.num_ciphertexts,
+            )
+        )
+        return node.output
+
+    def _emit_slice(self, node) -> int:
+        """A free ciphertext-list slice out of a stacked fused output.
+
+        No placement item and no layer report: slicing moves list
+        references, performing zero homomorphic operations.
+        """
+        in_uid = self._resolve(node.inputs[0])
+        stacked = self.layouts[in_uid]
+        part = node.module.part
+        start, stop = stacked.ct_ranges()[part]
+        self.layouts[node.output] = stacked.parts[part]
+        self.instructions.append(
+            SliceInstr(
+                name=node.name, out_uid=node.output, exec_level=0,
+                boots_before=0, in_uid=in_uid, start=start, stop=stop,
+            )
+        )
+        return node.output
+
+    def _emit_rotate(self, node, chain: PlacementChain) -> int:
+        """An explicit slot rotation (orion.nn.Roll): one Galois key
+        switch per ciphertext, zero multiplicative depth."""
+        in_uid = self._resolve(node.inputs[0])
+        in_layout = self.layouts[in_uid]
+        out_uid = node.output
+        self.layouts[out_uid] = in_layout
+        if in_uid in self.pending:
+            self.pending[out_uid] = self.pending.pop(in_uid)
+        steps = node.module.shift % self.compiler.params.slot_count
+        num_cts = in_layout.num_ciphertexts
+        costs = self.compiler.costs
+        chain.items.append(
+            LayerSpec(
+                node.name,
+                depth=0,
+                cost_fn=lambda l: (num_cts * costs.hrot(l)) if steps else 0.0,
+                boot_units=num_cts,
+            )
+        )
+        self.instructions.append(
+            RotateInstr(
+                name=node.name, out_uid=out_uid, exec_level=0,
+                boots_before=0, in_uid=in_uid, steps=steps,
+            )
+        )
+        self.reports.append(
+            LayerReport(node.name, "rotate", num_cts if steps else 0, 0, 0, num_cts)
+        )
+        return out_uid
+
     # -- activations -------------------------------------------------------
     def _emit_relu(self, node, chain: PlacementChain) -> int:
         module = node.module
@@ -609,20 +803,28 @@ class _ProgramBuilder:
         if _is_alias(self.folded.get(node.index)):
             # Folded into the producing conv; uid already redirected.
             return node.output
-        # Standalone BN: a depthwise 1x1 convolution (one level).
+        # Standalone BN: a diagonal linear map (one level) — a
+        # depthwise 1x1 convolution on multiplexed inputs, a diagonal
+        # dense matrix on vector inputs (BatchNorm1d after a Linear).
         in_uid = self._resolve(node.inputs[0])
         in_layout = self.layouts[in_uid]
         scale, shift = node.module.folded_affine()
-        c = in_layout.channels
-        weight = scale.reshape(c, 1, 1, 1)
         m_in = self.ranges.norm(in_uid)
         m_out = self.ranges.norm(node.output)
-        weight = weight * (m_in / m_out) * self.pending.pop(in_uid, 1.0)
+        factor = (m_in / m_out) * self.pending.pop(in_uid, 1.0)
         bias = shift / m_out
-        packed, stats = self._pack_conv(
-            weight, bias, in_layout, (1, 1), (0, 0), (1, 1), c,
-            node.name, self.compiler.mode,
-        )
+        if isinstance(in_layout, VectorLayout):
+            weight = np.diag(scale * factor)
+            packed, stats = self._pack_fc(
+                weight, bias, in_layout, node.name, self.compiler.mode
+            )
+        else:
+            c = in_layout.channels
+            weight = scale.reshape(c, 1, 1, 1) * factor
+            packed, stats = self._pack_conv(
+                weight, bias, in_layout, (1, 1), (0, 0), (1, 1), c,
+                node.name, self.compiler.mode,
+            )
         self.layouts[node.output] = stats["out_layout"]
         costs = self.compiler.costs
         cost_obj = stats["cost_obj"]

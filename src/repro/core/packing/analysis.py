@@ -22,7 +22,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.packing.bsgs import plan_bsgs
-from repro.core.packing.layouts import MultiplexedLayout
+from repro.core.packing.layouts import MultiplexedLayout, StackedLayout
 
 
 @dataclass(frozen=True)
@@ -57,15 +57,21 @@ class PackingStats:
     _offsets: int = -1
 
 
-def analyze_conv_packing(
+def _conv_tap_slots(
     weight_shape: Tuple[int, int, int, int],
     in_layout: MultiplexedLayout,
     stride=(1, 1),
     padding=(0, 0),
     dilation=(1, 1),
     groups: int = 1,
-) -> PackingStats:
-    """Count diagonals/rotations of a conv without building plaintexts."""
+):
+    """Representative (out_slot, in_slot) pairs of every conv tap.
+
+    Each tap's diagonal offset is position-independent (Section 4.1),
+    so evaluating every tap at *some* output position where it is valid
+    enumerates the full offset structure.  Shared by
+    :func:`analyze_conv_packing` and :func:`conv_offset_profile`.
+    """
     c_out, c_in_g, kh, kw = weight_shape
     sh, sw = stride
     out_h = (in_layout.height + 2 * padding[0] - dilation[0] * (kh - 1) - 1) // sh + 1
@@ -77,15 +83,12 @@ def analyze_conv_packing(
         gap=in_layout.gap * sh,
         slots=in_layout.slots,
     )
-    n = in_layout.slots
     co_per_group = c_out // groups
     ci_per_group = in_layout.channels // groups if groups > 1 else c_in_g
 
-    # Per-tap representative output positions: each tap's diagonal
-    # offset is position-independent (Section 4.1), so it suffices to
-    # evaluate every tap at *some* output position where it is valid.
-    # (Tiny spatial maps may have no position where all taps are valid
-    # simultaneously; taps invalid everywhere contribute nothing.)
+    # Per-tap representative output positions.  (Tiny spatial maps may
+    # have no position where all taps are valid simultaneously; taps
+    # invalid everywhere contribute nothing.)
     def _tap_positions(kernel, dil, pad, stride_1d, in_size, out_size):
         reps = np.full(kernel, -1, dtype=np.int64)
         for tap in range(kernel):
@@ -119,8 +122,22 @@ def analyze_conv_packing(
 
     out_slot = out_layout.slot(co_g, oy0, ox0)
     in_slot = in_layout.slot(ci_global, iy, ix)
-    out_slot = out_slot[valid]
-    in_slot = in_slot[valid]
+    return out_slot[valid], in_slot[valid], out_layout
+
+
+def analyze_conv_packing(
+    weight_shape: Tuple[int, int, int, int],
+    in_layout: MultiplexedLayout,
+    stride=(1, 1),
+    padding=(0, 0),
+    dilation=(1, 1),
+    groups: int = 1,
+) -> PackingStats:
+    """Count diagonals/rotations of a conv without building plaintexts."""
+    n = in_layout.slots
+    out_slot, in_slot, out_layout = _conv_tap_slots(
+        weight_shape, in_layout, stride, padding, dilation, groups
+    )
 
     bo = out_slot // n
     bi = in_slot // n
@@ -235,6 +252,178 @@ def analyze_linear_packing(
         _giants=sum(1 for g in plan.giants if g) + fold_count,
         num_folds=fold_count,
         _offsets=sum(1 for o in offsets if o) * in_layout.num_ciphertexts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Offset profiles: the geometry the graph optimizer's fusion gate needs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class OffsetProfile:
+    """The (out_block, in_block, offset) structure of one linear layer.
+
+    Value-free: computed from shapes and layouts alone, so the
+    concat-linear fusion gate makes the *identical* decision in analyze
+    and materialize compile modes.  ``keys`` holds the distinct
+    (bo, bi, offset) triples of the layer's diagonal table.
+    """
+
+    slots: int
+    num_in: int
+    num_out: int
+    keys: Tuple[Tuple[int, int, int], ...]
+    fold_shifts: Tuple[int, ...]
+    out_layout: object
+
+    def stats(self) -> PackingStats:
+        return _stats_from_keys(
+            self.keys, self.num_in, self.num_out, self.fold_shifts,
+            self.out_layout, self.slots,
+        )
+
+
+def _stats_from_keys(
+    keys, num_in: int, num_out: int, fold_shifts, out_layout, slots: int
+) -> PackingStats:
+    """PackingStats from an explicit (bo, bi, offset) key set.
+
+    Uses the same :func:`plan_bsgs` over the same offset union and the
+    same per-block baby/giant counting as
+    :meth:`repro.core.packing.matvec.PackedMatVec.rotation_count`, so a
+    merged profile's stats equal the merged materialized layer's counts.
+    """
+    offsets = sorted({off for (_, _, off) in keys})
+    plan = plan_bsgs(offsets, slots)
+    by_bi: dict = {}
+    by_bo: dict = {}
+    for bo, bi, off in keys:
+        by_bi.setdefault(bi, set()).add(off)
+        by_bo.setdefault(bo, set()).add(off)
+    babies = sum(
+        len({off % plan.n1 for off in offs} - {0}) for offs in by_bi.values()
+    )
+    giants = sum(
+        len({off - off % plan.n1 for off in offs} - {0}) for offs in by_bo.values()
+    )
+    folds = len(fold_shifts)
+    nonzero = len({(bi, off) for (_, bi, off) in keys if off})
+    return PackingStats(
+        rotations=babies + giants + folds * num_out,
+        pmults=len(keys),
+        num_in_cts=num_in,
+        num_out_cts=num_out,
+        num_unique_offsets=len(offsets),
+        out_layout=out_layout,
+        _giants=giants + folds * num_out,
+        num_folds=folds,
+        _offsets=nonzero,
+    )
+
+
+def conv_offset_profile(
+    weight_shape: Tuple[int, int, int, int],
+    in_layout: MultiplexedLayout,
+    stride=(1, 1),
+    padding=(0, 0),
+    dilation=(1, 1),
+    groups: int = 1,
+) -> OffsetProfile:
+    """Offset structure of a conv, mirroring the builder's plain-vs-
+    hybrid choice (``analyze_conv_packing`` already makes it; a hybrid
+    pick is visible as ``num_folds > 0``)."""
+    from repro.utils.intmath import int_log2, next_power_of_two
+
+    n = in_layout.slots
+    out_slot, in_slot, out_layout = _conv_tap_slots(
+        weight_shape, in_layout, stride, padding, dilation, groups
+    )
+    stats = analyze_conv_packing(
+        weight_shape, in_layout, stride, padding, dilation, groups
+    )
+    if stats.num_folds:
+        m2 = next_power_of_two(out_layout.total_slots)
+        offsets = np.unique((in_slot - out_slot) % m2)
+        keys = tuple((0, 0, int(off)) for off in offsets)
+        fold_shifts = tuple(n >> (i + 1) for i in range(int_log2(n // m2)))
+        return OffsetProfile(
+            slots=n, num_in=1, num_out=1, keys=keys,
+            fold_shifts=fold_shifts, out_layout=out_layout,
+        )
+    bo = out_slot // n
+    bi = in_slot // n
+    diag = (in_slot - out_slot) % n
+    keys = tuple(
+        sorted({(int(o), int(i), int(d)) for o, i, d in zip(bo, bi, diag)})
+    )
+    return OffsetProfile(
+        slots=n,
+        num_in=in_layout.num_ciphertexts,
+        num_out=out_layout.num_ciphertexts,
+        keys=keys,
+        fold_shifts=(),
+        out_layout=out_layout,
+    )
+
+
+def linear_offset_profile(out_features: int, in_layout) -> OffsetProfile:
+    """Offset structure of a dense FC layer (mirrors
+    ``analyze_linear_packing``'s hybrid rule and dense-offset model)."""
+    from repro.core.packing.layouts import VectorLayout
+    from repro.utils.intmath import int_log2, next_power_of_two
+
+    n = in_layout.slots
+    length = in_layout.logical_length
+    in_slots = np.asarray(in_layout.slot_of_logical(np.arange(length)))
+    single_block = in_layout.num_ciphertexts == 1 and out_features <= n // 2
+    use_hybrid = single_block and out_features <= n // 4
+    rows = np.arange(out_features)
+    if use_hybrid:
+        m2 = next_power_of_two(out_features)
+        offsets = np.unique((in_slots[None, :] - rows[:, None]) % m2)
+        fold_shifts = tuple(n >> (i + 1) for i in range(int_log2(n // m2)))
+    else:
+        offsets = np.unique((in_slots[None, :] - rows[:, None]) % n)
+        fold_shifts = ()
+    keys = tuple(
+        (0, bi, int(off))
+        for bi in range(in_layout.num_ciphertexts)
+        for off in offsets
+    )
+    return OffsetProfile(
+        slots=n,
+        num_in=in_layout.num_ciphertexts,
+        num_out=1,
+        keys=keys,
+        fold_shifts=fold_shifts,
+        out_layout=VectorLayout(out_features, n),
+    )
+
+
+def merged_packing_stats(profiles) -> PackingStats:
+    """Counts of the concat-fused layer formed from sibling profiles.
+
+    Globalizes each profile's output blocks onto the stacked ciphertext
+    axis and recounts over the union offset set — the exact computation
+    :meth:`PackedMatVec.rotation_count` performs on the merged layer
+    built by ``merge_packed_matvecs``, so analyze and materialize modes
+    report identical fused counts.
+    """
+    first = profiles[0]
+    for p in profiles[1:]:
+        if p.slots != first.slots or p.num_in != first.num_in:
+            raise ValueError("profiles must share slots and input blocks")
+        if p.fold_shifts != first.fold_shifts:
+            raise ValueError("profiles must share fold shifts")
+    keys = []
+    bo_base = 0
+    for p in profiles:
+        keys.extend((bo_base + bo, bi, off) for (bo, bi, off) in p.keys)
+        bo_base += p.num_out
+    out_layout = StackedLayout(
+        parts=tuple(p.out_layout for p in profiles), slots=first.slots
+    )
+    return _stats_from_keys(
+        keys, first.num_in, bo_base, first.fold_shifts, out_layout, first.slots
     )
 
 

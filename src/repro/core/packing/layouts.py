@@ -178,6 +178,75 @@ class VectorLayout:
 
 
 @dataclass(frozen=True)
+class StackedLayout:
+    """Several independent layouts stacked along the ciphertext axis.
+
+    The fused output of merged sibling linear layers (graph optimizer's
+    concat-linear pass): output block b of part k lives at ciphertext
+    index ``offset(k) + b``, where ``offset`` accumulates the earlier
+    parts' ciphertext counts.  A cheap SliceInstr then splits the stack
+    back into per-branch values, so downstream layers see the exact
+    layout the un-fused program would have produced.
+    """
+
+    parts: tuple  # of single-tensor layouts (Multiplexed/Vector)
+    slots: int
+
+    def __post_init__(self):
+        if not self.parts:
+            raise ValueError("StackedLayout needs at least one part")
+        for part in self.parts:
+            if part.slots != self.slots:
+                raise ValueError("all parts must share the slot count")
+
+    @property
+    def num_ciphertexts(self) -> int:
+        return sum(part.num_ciphertexts for part in self.parts)
+
+    @property
+    def total_slots(self) -> int:
+        return sum(part.total_slots for part in self.parts)
+
+    @property
+    def logical_length(self) -> int:
+        return sum(part.logical_length for part in self.parts)
+
+    @property
+    def tensor_shape(self) -> tuple:
+        return (self.logical_length,)
+
+    def ct_ranges(self) -> list:
+        """Per-part (start, stop) ciphertext index ranges."""
+        ranges = []
+        offset = 0
+        for part in self.parts:
+            ranges.append((offset, offset + part.num_ciphertexts))
+            offset += part.num_ciphertexts
+        return ranges
+
+    def pack(self, tensors) -> list:
+        """Pack a sequence of per-part tensors (one per part)."""
+        if len(tensors) != len(self.parts):
+            raise ValueError(
+                f"expected {len(self.parts)} part tensors, got {len(tensors)}"
+            )
+        vectors = []
+        for part, tensor in zip(self.parts, tensors):
+            vectors.extend(part.pack(np.asarray(tensor)))
+        return vectors
+
+    def unpack(self, vectors: list) -> list:
+        """Inverse of :meth:`pack`; returns one tensor per part."""
+        outs = []
+        for part, (start, stop) in zip(self.parts, self.ct_ranges()):
+            outs.append(part.unpack(list(vectors[start:stop])))
+        return outs
+
+    def __repr__(self) -> str:
+        return f"StackedLayout(parts={list(self.parts)!r})"
+
+
+@dataclass(frozen=True)
 class BlockReplicatedLayout:
     """``batch`` independent copies of a single-ciphertext layout.
 

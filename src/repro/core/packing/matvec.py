@@ -47,6 +47,7 @@ from repro.core.packing.bsgs import BsgsPlan, plan_bsgs
 from repro.core.packing.layouts import (
     BlockReplicatedLayout,
     MultiplexedLayout,
+    StackedLayout,
     VectorLayout,
 )
 from repro.utils.intmath import int_log2, next_power_of_two
@@ -583,6 +584,12 @@ def layout_payload(layout) -> Dict:
         }
     if isinstance(layout, VectorLayout):
         return {"kind": "vector", "length": layout.length, "slots": layout.slots}
+    if isinstance(layout, StackedLayout):
+        return {
+            "kind": "stacked",
+            "parts": [layout_payload(part) for part in layout.parts],
+            "slots": layout.slots,
+        }
     raise TypeError(f"cannot serialize layout {type(layout).__name__}")
 
 
@@ -598,7 +605,82 @@ def layout_from_payload(payload: Dict):
         )
     if kind == "vector":
         return VectorLayout(length=payload["length"], slots=payload["slots"])
+    if kind == "stacked":
+        return StackedLayout(
+            parts=tuple(layout_from_payload(p) for p in payload["parts"]),
+            slots=payload["slots"],
+        )
     raise ValueError(f"unknown layout kind {kind!r}")
+
+
+def merge_packed_matvecs(packeds: List[PackedMatVec], name: str = "fused") -> PackedMatVec:
+    """Concatenate sibling layers reading the same input into one layer.
+
+    The graph optimizer's concat-linear fusion: all siblings' diagonal
+    tables join under ONE BSGS plan over the union of their offsets, so
+    the fused execution shares a single digit decomposition per input
+    block and de-duplicates (input block, offset) inner products the
+    siblings had in common — (k-1) * num_in decompositions and every
+    shared rotation disappear outright.  Output block b of sibling k
+    lands at global block ``offset(k) + b`` (a :class:`StackedLayout`);
+    a cheap ciphertext-list slice recovers each branch afterwards.
+
+    Bit-exactness: a stored diagonal contributes
+    ``orig[j] * in[j + offset]`` to its output block regardless of how
+    the plan splits the offset into baby and giant steps, so re-planning
+    over the union set leaves every per-block sum made of the identical
+    float products in the identical (insertion-preserved) order.
+
+    Requires identical slot counts, input block counts, and fold shifts
+    (``fold_shifts`` run per output block, so equal shift ladders fold
+    each stacked block exactly as the separate layers did).
+    """
+    if len(packeds) < 2:
+        raise ValueError("need at least two layers to merge")
+    first = packeds[0]
+    for p in packeds[1:]:
+        if p.slots != first.slots:
+            raise ValueError("merged layers must share the slot count")
+        if p.num_in != first.num_in:
+            raise ValueError("merged layers must read the same input blocks")
+        if p.fold_shifts != first.fold_shifts:
+            raise ValueError("merged layers must share fold shifts")
+    union_offsets = sorted(
+        {off for p in packeds for dmap in p.diags.values() for off in dmap}
+    )
+    plan = plan_bsgs(union_offsets, first.slots)
+    diags: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+    bias_vecs: Optional[List[np.ndarray]] = None
+    if any(p.bias_vecs is not None for p in packeds):
+        bias_vecs = []
+    bo_base = 0
+    for p in packeds:
+        for (bo, bi), dmap in p.diags.items():
+            merged = diags.setdefault((bo_base + bo, bi), {})
+            for offset, vec in dmap.items():
+                old_giant, _ = p.plan.split(offset)
+                orig = np.roll(vec, -old_giant) if old_giant else vec
+                new_giant, _ = plan.split(offset)
+                merged[offset] = np.roll(orig, new_giant) if new_giant else orig
+        if bias_vecs is not None:
+            if p.bias_vecs is not None:
+                bias_vecs.extend(p.bias_vecs)
+            else:
+                bias_vecs.extend(np.zeros(first.slots) for _ in range(p.num_out))
+        bo_base += p.num_out
+    return PackedMatVec(
+        slots=first.slots,
+        num_in=first.num_in,
+        num_out=bo_base,
+        diags=diags,
+        plan=plan,
+        out_layout=StackedLayout(
+            parts=tuple(p.out_layout for p in packeds), slots=first.slots
+        ),
+        fold_shifts=first.fold_shifts,
+        bias_vecs=bias_vecs,
+        name=name,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -225,6 +225,48 @@ class AliasInstr(Instruction):
 
 
 @dataclass
+class SliceInstr(Instruction):
+    """Take ciphertexts [start, stop) of a stacked register.
+
+    The split that follows a concat-fused linear layer (graph
+    optimizer): the fused output stacks every sibling's blocks along the
+    ciphertext axis, and each branch resumes from its slice.  Free under
+    FHE — no rotation, no level, no noise; the sliced list shares
+    ciphertext objects with its source (bootstraps *replace* list
+    entries, so sharing is safe).
+    """
+
+    in_uid: int = 0
+    start: int = 0
+    stop: int = 0
+
+    def execute(self, state: ExecutionState) -> None:
+        state.set(self.out_uid, list(state.get(self.in_uid)[self.start : self.stop]))
+
+
+@dataclass
+class RotateInstr(Instruction):
+    """Cyclic slot rotation of a register (orion.nn.Roll).
+
+    One hoisted Galois key switch per ciphertext; a zero effective step
+    is a no-op (the graph optimizer cancels those away, but the
+    reference un-optimized path must still execute them safely).
+    """
+
+    in_uid: int = 0
+    steps: int = 0
+
+    def execute(self, state: ExecutionState) -> None:
+        backend = state.backend
+        with backend.ledger.phase(f"rotate/{self.name}"):
+            (cts,) = self.prepare(state, [self.in_uid])
+            steps = self.steps % backend.slot_count
+            if steps:
+                cts = [backend.rotate(ct, steps) for ct in cts]
+            state.set(self.out_uid, list(cts))
+
+
+@dataclass
 class FheProgram:
     """A fully compiled network ready to execute on a backend.
 
@@ -313,12 +355,17 @@ class FheProgram:
         levels: Dict[int, int] = {}
 
         def visit(program):
+            slots = program.input_layout.slots
             for instr in program.instructions:
                 if isinstance(instr, LinearInstr):
                     for step in instr.packed.required_rotation_steps():
                         levels[step] = max(
                             levels.get(step, -1), instr.exec_level
                         )
+                elif isinstance(instr, RotateInstr):
+                    step = instr.steps % slots
+                    if step:
+                        levels[step] = max(levels.get(step, -1), instr.exec_level)
 
         visit(self)
         if include_batched:
@@ -346,6 +393,11 @@ class FheProgram:
             if isinstance(instr, LinearInstr)
         ]
         if any(layout.num_ciphertexts != 1 for layout in occupied):
+            return 1
+        # A slot rotation crosses client-block boundaries, so rotated
+        # programs cannot slot-batch (each client would read a
+        # neighbor's slots).
+        if any(isinstance(instr, RotateInstr) for instr in self.instructions):
             return 1
         required = max(layout.total_slots for layout in occupied)
         return max(1, slots // next_power_of_two(required))
@@ -433,6 +485,15 @@ class FheProgram:
             elif isinstance(instr, AliasInstr):
                 entry["kind"] = "alias"
                 entry["in_uid"] = instr.in_uid
+            elif isinstance(instr, SliceInstr):
+                entry["kind"] = "slice"
+                entry["in_uid"] = instr.in_uid
+                entry["start"] = instr.start
+                entry["stop"] = instr.stop
+            elif isinstance(instr, RotateInstr):
+                entry["kind"] = "rotate"
+                entry["in_uid"] = instr.in_uid
+                entry["steps"] = instr.steps
             else:
                 raise TypeError(
                     f"cannot serialize instruction {type(instr).__name__}"
@@ -494,6 +555,19 @@ class FheProgram:
                 )
             elif kind == "alias":
                 instructions.append(AliasInstr(in_uid=entry["in_uid"], **common))
+            elif kind == "slice":
+                instructions.append(
+                    SliceInstr(
+                        in_uid=entry["in_uid"],
+                        start=entry["start"],
+                        stop=entry["stop"],
+                        **common,
+                    )
+                )
+            elif kind == "rotate":
+                instructions.append(
+                    RotateInstr(in_uid=entry["in_uid"], steps=entry["steps"], **common)
+                )
             else:
                 raise ValueError(f"unknown instruction kind {kind!r}")
         return cls(
@@ -540,5 +614,16 @@ class FheProgram:
                 ]
             elif isinstance(instr, AliasInstr):
                 values[instr.out_uid] = values[instr.in_uid]
+            elif isinstance(instr, SliceInstr):
+                values[instr.out_uid] = list(
+                    values[instr.in_uid][instr.start : instr.stop]
+                )
+            elif isinstance(instr, RotateInstr):
+                slots = self.input_layout.slots
+                steps = instr.steps % slots
+                values[instr.out_uid] = [
+                    np.roll(vec, -steps) if steps else vec
+                    for vec in values[instr.in_uid]
+                ]
         out = values[self.output_uid]
         return self.output_layout.unpack(out) * self.output_denorm

@@ -9,6 +9,7 @@ from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import (
     AvgPool2d,
     AdaptiveAvgPool2d,
+    BatchNorm1d,
     BatchNorm2d,
     Conv2d,
     Flatten,
@@ -23,6 +24,7 @@ __all__ = [
     "Sequential",
     "Conv2d",
     "Linear",
+    "BatchNorm1d",
     "BatchNorm2d",
     "AvgPool2d",
     "AdaptiveAvgPool2d",

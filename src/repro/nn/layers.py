@@ -128,6 +128,32 @@ class BatchNorm2d(Module):
         return scale, shift
 
 
+class BatchNorm1d(BatchNorm2d):
+    """Per-feature batch normalization for (B, C) inputs.
+
+    Reuses the 2D statistics machinery by viewing features as 1x1
+    spatial maps; ``folded_affine`` is inherited unchanged, so the
+    Orion compiler folds Linear -> BatchNorm1d exactly like
+    Conv2d -> BatchNorm2d.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        if len(x.shape) != 2:
+            raise ValueError(f"BatchNorm1d expects (B, C) input, got {x.shape}")
+        as_2d = x.reshape(x.shape[0], x.shape[1], 1, 1)
+        out = F.batch_norm2d(
+            as_2d,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+        return out.reshape(x.shape[0], x.shape[1])
+
+
 class AvgPool2d(Module):
     """Average pooling (the paper replaces max pooling with this)."""
 

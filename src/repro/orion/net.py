@@ -47,8 +47,9 @@ class OrionNetwork:
         cost_model: Optional[CostModel] = None,
         mode: str = "materialize",
         entry_level: Optional[int] = None,
+        optimize: Optional[bool] = None,
     ) -> CompiledNetwork:
-        compiler = OrionCompiler(params, cost_model, mode=mode)
+        compiler = OrionCompiler(params, cost_model, mode=mode, optimize=optimize)
         return compiler.compile(
             self.module,
             self.input_shape,
@@ -63,6 +64,7 @@ class OrionNetwork:
         params: CkksParameters,
         cost_model: Optional[CostModel] = None,
         entry_level: Optional[int] = None,
+        optimize: Optional[bool] = None,
     ):
         """Compile once and write a serving artifact to ``path``.
 
@@ -71,7 +73,9 @@ class OrionNetwork:
         ``repro.serve.load_artifact(path)`` and serve without ever
         touching the compiler or the planner.
         """
-        compiled = self.compile(params, cost_model, entry_level=entry_level)
+        compiled = self.compile(
+            params, cost_model, entry_level=entry_level, optimize=optimize
+        )
         return compiled.export(path, params)
 
     def serve(

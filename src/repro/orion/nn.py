@@ -94,10 +94,50 @@ class BatchNorm2d(Module, base_nn.BatchNorm2d):
         base_nn.BatchNorm2d.__init__(self, num_features, eps, momentum)
 
 
+class BatchNorm1d(Module, base_nn.BatchNorm1d):
+    """Per-feature batch norm; folded into the adjacent dense Linear at
+    compile time exactly like BatchNorm2d folds into Conv2d."""
+
+    orion_kind = "batchnorm"
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1):
+        base_nn.BatchNorm1d.__init__(self, num_features, eps, momentum)
+
+
 class Flatten(Module, base_nn.Flatten):
     """Layout-only: flattening is free under packed layouts."""
 
     orion_kind = "reshape"
+
+
+class Roll(Module):
+    """Cyclic slot rotation by ``shift`` (positive = leftward, matching
+    the backend's ``rotate`` convention: slot i reads slot i + shift).
+
+    Cleartext semantics roll the flattened feature vector; under FHE
+    this lowers to one hoisted Galois rotation.  The graph optimizer
+    hoists identical rolls across fork branches and cancels
+    roll/unroll pairs.
+    """
+
+    orion_kind = "rotate"
+
+    def __init__(self, shift: int):
+        super().__init__()
+        self.shift = int(shift)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        flat = np.roll(x.data.reshape(batch, -1), -self.shift, axis=1)
+        data = flat.reshape(x.shape)
+        shift = self.shift
+
+        def backward(grad):
+            if x.requires_grad:
+                rolled = np.roll(grad.reshape(batch, -1), shift, axis=1)
+                x._accumulate(rolled.reshape(x.shape))
+
+        return Tensor._make(np.asarray(data), (x,), backward)
 
 
 class Add(Module):

@@ -20,6 +20,12 @@ one) from the key manifest.
 Loading never invokes the compiler or the placement planner — the
 "zero compiler invocations on the serve path" contract asserted by
 ``tests/test_serve.py`` and ``benchmarks/bench_serving_throughput.py``.
+
+Programs produced with the graph-level optimizer on (docs/graphopt.md)
+round-trip through the same schema unchanged: fused stacked layouts,
+``SliceInstr``, and ``RotateInstr`` all serialize through the existing
+layout/instruction payload kinds, so artifacts written by an optimized
+compile load on workers that never saw the optimizer.
 """
 
 from __future__ import annotations

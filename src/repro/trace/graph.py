@@ -55,25 +55,44 @@ class LayerGraph:
     ``nodes`` are in execution order (a valid topological order).
     Value ids: ``input_uid`` is the network input; every node output
     introduces a fresh uid.
+
+    The producer/consumer maps are cached (the graph optimizer queries
+    them heavily); every mutation must go through the rewrite API below
+    (or call :meth:`invalidate` itself) so the caches never go stale.
     """
 
     nodes: List[TraceNode] = field(default_factory=list)
     input_uid: int = 0
     output_uid: Optional[int] = None
     _uid_counter: itertools.count = field(default_factory=itertools.count)
+    _producers: Optional[Dict[int, TraceNode]] = field(
+        default=None, repr=False, compare=False
+    )
+    _consumers: Optional[Dict[int, List[TraceNode]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def fresh_uid(self) -> int:
         return next(self._uid_counter)
 
+    def invalidate(self) -> None:
+        """Drop the cached producer/consumer maps after a mutation."""
+        self._producers = None
+        self._consumers = None
+
     def producers(self) -> Dict[int, TraceNode]:
-        return {node.output: node for node in self.nodes}
+        if self._producers is None:
+            self._producers = {node.output: node for node in self.nodes}
+        return self._producers
 
     def consumers(self) -> Dict[int, List[TraceNode]]:
-        out: Dict[int, List[TraceNode]] = {}
-        for node in self.nodes:
-            for uid in node.inputs:
-                out.setdefault(uid, []).append(node)
-        return out
+        if self._consumers is None:
+            out: Dict[int, List[TraceNode]] = {}
+            for node in self.nodes:
+                for uid in node.inputs:
+                    out.setdefault(uid, []).append(node)
+            self._consumers = out
+        return self._consumers
 
     def fork_uids(self) -> List[int]:
         """Value ids consumed by more than one node (fork points)."""
@@ -81,6 +100,49 @@ class LayerGraph:
 
     def node_by_output(self, uid: int) -> Optional[TraceNode]:
         return self.producers().get(uid)
+
+    # -- rewrite API (repro.core.graphopt) ---------------------------------
+    def fresh_index(self) -> int:
+        """An unused node index for a rewrite-created node.
+
+        Node indices key the compiler's batch-norm folding table and the
+        ``name`` property, so rewrites must never reuse one.
+        """
+        return max((node.index for node in self.nodes), default=-1) + 1
+
+    def position_of(self, node: TraceNode) -> int:
+        """Position of ``node`` in the execution-ordered node list."""
+        for pos, candidate in enumerate(self.nodes):
+            if candidate is node:
+                return pos
+        raise ValueError(f"{node.name} is not in this graph")
+
+    def insert_nodes(self, position: int, new_nodes: List[TraceNode]) -> None:
+        """Insert nodes at a list position (caller keeps topo order)."""
+        self.nodes[position:position] = list(new_nodes)
+        self.invalidate()
+
+    def remove_nodes(self, dead: List[TraceNode]) -> None:
+        """Remove nodes by identity."""
+        doomed = {id(node) for node in dead}
+        self.nodes = [node for node in self.nodes if id(node) not in doomed]
+        self.invalidate()
+
+    def rewire_value(self, old_uid: int, new_uid: int) -> None:
+        """Replace every read of ``old_uid`` with ``new_uid``.
+
+        Used when a rewrite removes the producer of ``old_uid`` and an
+        equal value is available under ``new_uid`` (e.g. canceled
+        rotation pairs).  Also retargets the graph output.
+        """
+        for node in self.nodes:
+            if old_uid in node.inputs:
+                node.inputs = tuple(
+                    new_uid if uid == old_uid else uid for uid in node.inputs
+                )
+        if self.output_uid == old_uid:
+            self.output_uid = new_uid
+        self.invalidate()
 
 
 _ACTIVE_TRACE: List[LayerGraph] = []
@@ -122,4 +184,5 @@ def record_node(module, inputs: List[TracedValue], output_tensor: Tensor) -> Tra
     )
     graph.nodes.append(node)
     graph.output_uid = out.uid
+    graph.invalidate()
     return out
