@@ -39,7 +39,8 @@ from repro.core.placement.planner import solve_placement
 from repro.models import SecureMlp
 from repro.nn import init
 from repro.orion import OrionNetwork
-from repro.serve import InferenceServer, load_artifact
+from repro.serve import load_artifact
+from repro.serve.runtime import InferenceServer
 
 QUICK = bool(
     int(os.environ.get("SERVING_QUICK", os.environ.get("HOTPATH_QUICK", "0")))

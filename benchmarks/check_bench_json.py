@@ -77,6 +77,10 @@ FLOORS = {
     "serving": {
         "speedup_batched_vs_single": (2.0, 2.0),
     },
+    # Fleet-scale pool (no speedup floor — single-core CI cannot measure
+    # parallel speedup honestly; the section is gated on its correctness
+    # flags and latency schema by _check_serving_pool instead).
+    "serving_pool": {},
     # Trace-level graph optimizer (concat-linear fusion + rotation
     # passes) end to end on a branchy sibling-conv network vs the
     # un-optimized reference compilation of the same network.
@@ -97,7 +101,7 @@ REQUIRED_SECTIONS = {
         "bootstrap_e2e",
         "graph_opt",
     ),
-    "BENCH_serving.json": ("serving",),
+    "BENCH_serving.json": ("serving", "serving_pool"),
 }
 
 # Numeric fields every section entry must carry (besides the speedups).
@@ -112,6 +116,7 @@ SECTION_MEDIANS = {
     ),
     "bootstrap_e2e": ("shared_median_ms", "pre_pr_median_ms"),
     "serving": ("single_request_median_ms", "batched_request_median_ms"),
+    "serving_pool": ("p50_ms", "p99_ms"),
     "graph_opt": ("optimized_median_ms", "unoptimized_median_ms"),
 }
 
@@ -139,6 +144,43 @@ def _check_medians(errors, config_key, section, data):
                     f"{config_key}/{section}/{label}.{field}: "
                     f"expected a positive number, got {value!r}"
                 )
+
+
+def _check_serving_pool(errors, config_key, data):
+    """Correctness gates for the fleet-pool section: the benchmark must
+    have proved bit-exactness and exercised admission control, and the
+    latency percentiles must be ordered sanely."""
+    prefix = f"{config_key}/serving_pool"
+    if data.get("bit_exact_vs_solo") is not True:
+        errors.append(
+            f"{prefix}.bit_exact_vs_solo: must be true "
+            f"(got {data.get('bit_exact_vs_solo')!r}) — pool outputs were "
+            "not proven bit-exact against a solo server replay"
+        )
+    if data.get("mmap_backed") is not True:
+        errors.append(
+            f"{prefix}.mmap_backed: must be true — a worker served from "
+            "copied (non-mmapped) tables"
+        )
+    workers = data.get("workers")
+    if not isinstance(workers, int) or workers < 4:
+        errors.append(
+            f"{prefix}.workers: expected >= 4, got {workers!r}"
+        )
+    rate = data.get("reject_rate")
+    if not isinstance(rate, (int, float)) or not (0.0 < rate < 1.0):
+        errors.append(
+            f"{prefix}.reject_rate: expected a rate in (0, 1) — the "
+            f"overload burst must produce some (not all) rejects, "
+            f"got {rate!r}"
+        )
+    p50, p99 = data.get("p50_ms"), data.get("p99_ms")
+    if (
+        isinstance(p50, (int, float))
+        and isinstance(p99, (int, float))
+        and p99 < p50
+    ):
+        errors.append(f"{prefix}: p99_ms ({p99}) below p50_ms ({p50})")
 
 
 def check(path):
@@ -170,6 +212,8 @@ def check(path):
                 continue
             seen_sections.add(section)
             _check_medians(errors, config_key, section, section_data)
+            if section == "serving_pool":
+                _check_serving_pool(errors, config_key, section_data)
             for dotted, (quick_floor, full_floor) in metrics.items():
                 floor = quick_floor if quick else full_floor
                 value = _lookup(section_data, dotted)

@@ -1,14 +1,17 @@
-"""Serving walkthrough: compile once, export, load, slot-batch requests.
+"""Serving walkthrough: compile once, export, open a pool, slot-batch.
 
 The full compile-once / serve-many story of docs/serving.md in one
-script:
+script, through the fleet front door (``repro.serve.open``):
 
-1. fit + compile an MNIST MLP and **export** it to a serving artifact;
-2. **load** the artifact in a "worker" (zero compiler invocations —
-   asserted) and build key material from the artifact's key manifest;
-3. serve four clients **sequentially**, then the same four **batched
-   into one ciphertext**, verifying per-client outputs match;
-4. print the serving telemetry.
+1. fit + compile an MNIST MLP and **export** it to a serving artifact
+   (uncompressed, so workers can map the tables in place);
+2. **open** a 2-worker pool over the artifact (zero compiler
+   invocations — asserted; the weight tables are mmapped, shared by
+   every worker, never copied);
+3. serve four clients **sequentially**, then the same four **batched**
+   through the pool's slot-batching workers, verifying per-client
+   outputs match;
+4. print the typed, schema-versioned pool telemetry.
 
 Run:  python examples/serve_mnist.py
 """
@@ -19,12 +22,12 @@ import time
 
 import numpy as np
 
+from repro import serve
 from repro.ckks.params import toy_parameters
 from repro.core.compiler import OrionCompiler
 from repro.models import SecureMlp
 from repro.nn import init
 from repro.orion import OrionNetwork
-from repro.serve import InferenceServer, KeyRegistry, load_artifact
 
 
 def main():
@@ -42,64 +45,71 @@ def main():
     onet.export(path, params)
     print(f"  wrote {path} ({os.path.getsize(path) // 1024} KiB)")
 
-    # -- online: a worker loads the artifact (no compiler, ever) --------
+    # -- online: open a pool over the artifact (no compiler, ever) ------
     compilations = OrionCompiler.invocations
-    artifact = load_artifact(path)
-    print(
-        f"  loaded: depth {artifact.summary['depth']:.0f}, "
-        f"{len(artifact.manifest.rotation_steps)} rotation keys in the "
-        f"manifest, slot-batch capacity {artifact.slot_batch_capacity()}"
+    config = serve.ServerConfig(
+        workers=2, batch_window_seconds=0.0, max_queue_depth=8
     )
-
-    # Key material comes from the manifest — exactly what's needed.
-    registry = KeyRegistry(artifact.manifest)
-    backend = registry.backend_for("tenant-a")
-    server = InferenceServer(artifact, backend, max_wait_seconds=0.0)
-    server.warm(batch_sizes=(1, 4))
-    print(f"  preloaded {server.preloaded_plaintexts} weight plaintexts")
-
-    images = [rng.normal(0, 0.5, (1, 8, 8)) for _ in range(4)]
-    reference = [artifact.program.run_cleartext_packed(im) for im in images]
-
-    # -- sequential serving ---------------------------------------------
-    start = time.perf_counter()
-    for index, image in enumerate(images):
-        result = server.serve_now(image, client_id=f"client-{index}")
-        bits = OrionNetwork.precision_bits(result.output, reference[index])
-        print(f"  sequential client-{index}: {bits:.1f} bits of precision")
-    sequential_s = time.perf_counter() - start
-
-    # -- slot-batched serving: 4 clients, ONE ciphertext ----------------
-    start = time.perf_counter()
-    tickets = {
-        server.submit(image, client_id=f"client-{index}", now=0.0): index
-        for index, image in enumerate(images)
-    }
-    results = server.step(now=1e9)
-    batched_s = time.perf_counter() - start
-    for result in results:
-        index = tickets[result.ticket]
-        bits = OrionNetwork.precision_bits(result.output, reference[index])
+    with serve.open(path, config) as server:
+        artifact_id = server.artifact_ids[0]
         print(
-            f"  batched    client-{index}: {bits:.1f} bits "
-            f"(batch of {result.batch_size})"
+            f"  pool of {server.workers} workers serving {artifact_id!r}; "
+            "tables mmapped in place, shared by every worker"
         )
+        server.warm(batch_sizes=(1, 4))
 
-    print(
-        f"\n4 requests: sequential {sequential_s:.2f}s, "
-        f"slot-batched {batched_s:.2f}s "
-        f"({sequential_s / batched_s:.1f}x requests/sec)"
-    )
-    assert OrionCompiler.invocations == compilations, "serve path compiled!"
-    print("serve path compiled nothing (as promised)")
+        images = [rng.normal(0, 0.5, (1, 8, 8)) for _ in range(4)]
+        reference = [
+            serve.ArtifactMap(path).load().program.run_cleartext_packed(im)
+            for im in images
+        ]
 
-    stats = server.stats()
-    print(
-        f"telemetry: {stats['requests_served']} requests in "
-        f"{stats['batches_run']} runs, request p50 "
-        f"{stats['request_latency']['p50_seconds'] * 1e3:.0f} ms, "
-        f"modeled {stats['modeled_seconds']:.1f}s of FHE work"
-    )
+        # -- sequential serving -----------------------------------------
+        start = time.perf_counter()
+        for index, image in enumerate(images):
+            result = server.serve_now(image, client_id=f"client-{index}")
+            bits = OrionNetwork.precision_bits(result.output, reference[index])
+            print(
+                f"  sequential client-{index}: {bits:.1f} bits of precision "
+                f"(worker {result.worker_id})"
+            )
+        sequential_s = time.perf_counter() - start
+
+        # -- slot-batched serving: clients coalesce per worker ----------
+        start = time.perf_counter()
+        tickets = {
+            server.submit(image, client_id=f"client-{index}", now=0.0): index
+            for index, image in enumerate(images)
+        }
+        results = server.step(now=1e9)
+        batched_s = time.perf_counter() - start
+        for result in results:
+            index = tickets[result.ticket]
+            bits = OrionNetwork.precision_bits(result.output, reference[index])
+            print(
+                f"  batched    client-{index}: {bits:.1f} bits "
+                f"(worker {result.worker_id}, batch of {result.batch_size})"
+            )
+
+        print(
+            f"\n4 requests: sequential {sequential_s:.2f}s, "
+            f"slot-batched {batched_s:.2f}s "
+            f"({sequential_s / batched_s:.1f}x requests/sec)"
+        )
+        assert OrionCompiler.invocations == compilations, "serve path compiled!"
+        print("serve path compiled nothing (as promised)")
+
+        stats = server.stats()
+        total_batches = sum(w.batches_run for w in stats.workers)
+        p50 = max(w.request_latency.p50_seconds for w in stats.workers)
+        modeled = sum(w.modeled_seconds for w in stats.workers)
+        print(
+            f"telemetry (schema v{stats.schema_version}): "
+            f"{stats.requests_completed} requests in {total_batches} runs "
+            f"across {len(stats.workers)} workers, request p50 "
+            f"{p50 * 1e3:.0f} ms, modeled {modeled:.1f}s of FHE work, "
+            f"mmap-backed={all(w.mmap_backed for w in stats.workers)}"
+        )
 
 
 if __name__ == "__main__":

@@ -2,22 +2,40 @@
 
 The layer above :class:`repro.core.compiler.OrionCompiler` and
 :class:`repro.core.program.FheProgram` that the ROADMAP's production
-north star needs (docs/serving.md):
+north star needs (docs/serving.md).  The front door is::
 
-- :mod:`repro.serve.artifact` — a versioned on-disk artifact holding a
-  compiled program, its weight-plaintext tables, and the key manifest,
-  so a model compiles once and every worker loads the artifact instead
-  of re-running the planner;
-- :mod:`repro.serve.scheduler` — cross-request SIMD slot batching: a
-  queue that coalesces pending requests into the unused slot blocks of
-  one ciphertext and runs the *same* program once for all of them;
-- :mod:`repro.serve.keys` — a multi-tenant key registry generating
-  exactly the key material an artifact's manifest declares;
-- :mod:`repro.serve.runtime` — the :class:`InferenceServer` worker loop
-  tying the three together, with per-request telemetry merged into the
-  operation ledger.
+    from repro import serve
+
+    with serve.open("model.npz", serve.ServerConfig(workers=4)) as server:
+        ticket = server.submit(image, client_id="alice")
+        results = server.drain()
+        stats = server.stats()          # typed, schema-versioned
+
+Behind it:
+
+- :mod:`repro.serve.api`      — :func:`open`, :class:`ServerConfig`,
+  :class:`Server`: the redesigned single entry point;
+- :mod:`repro.serve.pool`     — :class:`WorkerPool` /
+  :class:`Dispatcher`: sharded workers, rendezvous routing, admission
+  control (:class:`AdmissionError` backpressure);
+- :mod:`repro.serve.mmapio`   — :class:`ArtifactMap`: shared read-only
+  mmapped artifact tables (one physical copy per machine);
+- :mod:`repro.serve.stats`    — :class:`ServerStats` /
+  :class:`WorkerStats`: the typed telemetry schema shared with
+  ``BENCH_serving.json``;
+- :mod:`repro.serve.artifact` — the versioned on-disk artifact;
+- :mod:`repro.serve.scheduler` — cross-request SIMD slot batching;
+- :mod:`repro.serve.keys`     — the multi-tenant key registry;
+- :mod:`repro.serve.runtime`  — the per-worker inference loop.
+
+``InferenceServer`` and ``SlotBatchingScheduler`` remain importable
+from this package for one release as deprecation shims; new code goes
+through :func:`open`.
 """
 
+import warnings as _warnings
+
+from repro.serve.api import Server, ServerConfig, open
 from repro.serve.artifact import (
     ArtifactSchemaError,
     ServingArtifact,
@@ -25,17 +43,93 @@ from repro.serve.artifact import (
     save_artifact,
 )
 from repro.serve.keys import KeyRegistry
-from repro.serve.runtime import InferenceServer, ServeResult
-from repro.serve.scheduler import PendingRequest, SlotBatchingScheduler
+from repro.serve.mmapio import ArtifactMap, is_mmap_backed
+from repro.serve.pool import (
+    AdmissionError,
+    ArtifactSpec,
+    Dispatcher,
+    WorkerPool,
+)
+from repro.serve.runtime import InferenceServer as _InferenceServer
+from repro.serve.runtime import ServeResult
+from repro.serve.scheduler import PendingRequest
+from repro.serve.scheduler import SlotBatchingScheduler as _SlotBatchingScheduler
+from repro.serve.stats import (
+    STATS_SCHEMA_VERSION,
+    HistogramStats,
+    ServerStats,
+    StatsSchemaError,
+    WorkerStats,
+)
+
+
+class InferenceServer(_InferenceServer):
+    """Deprecated alias for :class:`repro.serve.runtime.InferenceServer`.
+
+    The single-worker loop is now an internal building block of the
+    pool; construct deployments with :func:`repro.serve.open` instead.
+    Behavior is identical to the internal class (the parity tests in
+    ``tests/test_serve_pool.py`` pin this) — only the import location
+    is deprecated.
+    """
+
+    def __init__(self, *args, **kwargs):
+        _warnings.warn(
+            "repro.serve.InferenceServer is deprecated; use "
+            "repro.serve.open(artifact, ServerConfig(...)) — or import "
+            "repro.serve.runtime.InferenceServer if you really need the "
+            "bare worker loop",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
+class SlotBatchingScheduler(_SlotBatchingScheduler):
+    """Deprecated alias for
+    :class:`repro.serve.scheduler.SlotBatchingScheduler` — batching is
+    configured through :class:`ServerConfig` now."""
+
+    def __init__(self, *args, **kwargs):
+        _warnings.warn(
+            "repro.serve.SlotBatchingScheduler is deprecated; configure "
+            "batching via ServerConfig (or import "
+            "repro.serve.scheduler.SlotBatchingScheduler directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
 
 __all__ = [
+    # front door
+    "open",
+    "Server",
+    "ServerConfig",
+    # pool
+    "WorkerPool",
+    "Dispatcher",
+    "AdmissionError",
+    "ArtifactSpec",
+    # shared artifact memory
+    "ArtifactMap",
+    "is_mmap_backed",
+    # telemetry schema
+    "ServerStats",
+    "WorkerStats",
+    "HistogramStats",
+    "StatsSchemaError",
+    "STATS_SCHEMA_VERSION",
+    # artifacts & keys
     "ArtifactSchemaError",
     "ServingArtifact",
     "load_artifact",
     "save_artifact",
     "KeyRegistry",
-    "InferenceServer",
+    # results / scheduling primitives
     "ServeResult",
     "PendingRequest",
+    # deprecated shims
+    "InferenceServer",
     "SlotBatchingScheduler",
 ]

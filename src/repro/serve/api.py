@@ -1,0 +1,322 @@
+"""The serving front door: ``serve.open(artifact, config) -> Server``.
+
+PR 4's surface grew organically — ``InferenceServer`` construction
+kwargs, caller-assembled schedulers and registries, raw-dict
+``stats()`` — and could not express workers, shards, or admission
+control without breaking every caller.  This module is the deliberate
+redesign:
+
+- :class:`ServerConfig` — one validated, frozen dataclass holding every
+  serving knob (worker count, batch window, admission limits, kernel
+  backend, key policy) instead of constructor-kwarg sprawl;
+- :func:`open` — the single entry point: give it an artifact path (or
+  several, or an already-loaded :class:`ServingArtifact`) and a config,
+  get a :class:`Server`;
+- :class:`Server` — the facade over the dispatcher + worker pool, with
+  typed, schema-versioned :meth:`Server.stats`.
+
+The old ``InferenceServer`` / ``SlotBatchingScheduler`` names remain
+importable from :mod:`repro.serve` for one release behind deprecation
+shims; ``tests/test_serve_pool.py`` pins shim == new-path behavior.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.serve.artifact import ServingArtifact
+from repro.serve.pool import (
+    ArtifactSpec,
+    Dispatcher,
+    WorkerPool,
+)
+from repro.serve.runtime import ServeResult
+from repro.serve.stats import (
+    STATS_SCHEMA_VERSION,
+    ServerStats,
+)
+
+_KERNEL_BACKENDS = ("auto", "numpy", "threaded", "numba")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every serving knob, validated once, in one place.
+
+    Args:
+        workers: pool size (shards).
+        mode: ``"inline"`` (in-process workers; deterministic, the mode
+            every correctness gate runs under) or ``"process"`` (real
+            ``multiprocessing`` children over the same mmapped files).
+        batching: enable cross-request slot batching inside each worker.
+        max_batch: cap on the slot-batch size (power-of-two floored).
+        batch_window_seconds: default latency budget a request may wait
+            in the batching window (the old ``max_wait_seconds``).
+        max_queue_depth: bound on each worker's pending queue; beyond it
+            the dispatcher rejects with :class:`AdmissionError`.
+        admission_budget_seconds: optional modeled-backlog latency
+            budget; a routed worker whose backlog would exceed it
+            rejects at admission instead of queueing.
+        routing_seed: seed folded into rendezvous routing, pinning the
+            client -> worker assignment reproducibly.
+        key_policy: ``"shared"`` (all workers hold the same key domain —
+            any worker's response decrypts under the pool key) or
+            ``"per_worker"`` (each worker its own domain).
+        key_seed: base seed for worker key generation.
+        kernel_backend: optional :mod:`repro.kernels` selection applied
+            in each worker (``None`` keeps the ambient selection).
+        preload: seed backend caches from the artifact's pre-encoded
+            tables at worker start.
+        backend_factory: ``(params, seed) -> FheBackend`` override
+            (defaults to the exact toy backend for toy-sized primes).
+    """
+
+    workers: int = 1
+    mode: str = "inline"
+    batching: bool = True
+    max_batch: Optional[int] = None
+    batch_window_seconds: float = 0.05
+    max_queue_depth: int = 32
+    admission_budget_seconds: Optional[float] = None
+    routing_seed: int = 0
+    key_policy: str = "shared"
+    key_seed: int = 0
+    kernel_backend: Optional[str] = None
+    preload: bool = True
+    backend_factory: Optional[Callable] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("ServerConfig.workers must be at least 1")
+        if self.mode not in ("inline", "process"):
+            raise ValueError(
+                f"ServerConfig.mode must be 'inline' or 'process', "
+                f"got {self.mode!r}"
+            )
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError("ServerConfig.max_batch must be at least 1")
+        if self.batch_window_seconds < 0:
+            raise ValueError(
+                "ServerConfig.batch_window_seconds must be non-negative"
+            )
+        if self.max_queue_depth < 1:
+            raise ValueError("ServerConfig.max_queue_depth must be at least 1")
+        if (
+            self.admission_budget_seconds is not None
+            and self.admission_budget_seconds <= 0
+        ):
+            raise ValueError(
+                "ServerConfig.admission_budget_seconds must be positive"
+            )
+        if self.key_policy not in ("shared", "per_worker"):
+            raise ValueError(
+                f"ServerConfig.key_policy must be 'shared' or 'per_worker', "
+                f"got {self.key_policy!r}"
+            )
+        if (
+            self.kernel_backend is not None
+            and self.kernel_backend not in _KERNEL_BACKENDS
+        ):
+            raise ValueError(
+                f"ServerConfig.kernel_backend must be one of "
+                f"{_KERNEL_BACKENDS}, got {self.kernel_backend!r}"
+            )
+
+    def with_overrides(self, **changes) -> "ServerConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+
+ArtifactSource = Union[str, ServingArtifact]
+
+
+def _artifact_specs(
+    source: Union[ArtifactSource, Dict[str, ArtifactSource], List[ArtifactSource], Tuple],
+) -> Tuple[ArtifactSpec, ...]:
+    """Normalize ``open``'s artifact argument into named specs."""
+    if isinstance(source, dict):
+        items = list(source.items())
+    elif isinstance(source, (list, tuple)):
+        items = [(None, entry) for entry in source]
+    else:
+        items = [(None, source)]
+    specs: List[ArtifactSpec] = []
+    seen = set()
+    for index, (artifact_id, entry) in enumerate(items):
+        if isinstance(entry, ServingArtifact):
+            name = artifact_id or f"artifact{index}"
+            spec = ArtifactSpec(artifact_id=name, artifact=entry)
+        elif isinstance(entry, (str, os.PathLike)):
+            path = os.fspath(entry)
+            stem = os.path.splitext(os.path.basename(path))[0]
+            name = artifact_id or stem
+            spec = ArtifactSpec(artifact_id=name, path=path)
+        else:
+            raise TypeError(
+                f"expected an artifact path or ServingArtifact, got "
+                f"{type(entry).__name__}"
+            )
+        if spec.artifact_id in seen:
+            raise ValueError(f"duplicate artifact id {spec.artifact_id!r}")
+        seen.add(spec.artifact_id)
+        specs.append(spec)
+    if not specs:
+        raise ValueError("open() needs at least one artifact")
+    return tuple(specs)
+
+
+class Server:
+    """A running serving deployment (dispatcher + worker pool).
+
+    Use :func:`open` to construct one.  Context-manager friendly:
+    leaving the ``with`` block drains and shuts the pool down.
+    """
+
+    def __init__(self, specs: Tuple[ArtifactSpec, ...], config: ServerConfig):
+        self.config = config
+        self.artifact_ids: Tuple[str, ...] = tuple(
+            spec.artifact_id for spec in specs
+        )
+        self._default_artifact = self.artifact_ids[0]
+        if config.kernel_backend is not None and config.mode == "inline":
+            from repro import kernels
+
+            kernels.select_backend(
+                None
+                if config.kernel_backend == "auto"
+                else config.kernel_backend
+            )
+        pool = WorkerPool(
+            specs,
+            config.workers,
+            mode=config.mode,
+            kernel_backend=config.kernel_backend,
+            key_seed=config.key_seed,
+            key_policy=config.key_policy,
+            batching=config.batching,
+            max_batch=config.max_batch,
+            batch_window_seconds=config.batch_window_seconds,
+            preload=config.preload,
+            backend_factory=config.backend_factory,
+        )
+        self._dispatcher = Dispatcher(
+            pool,
+            max_queue_depth=config.max_queue_depth,
+            admission_budget_seconds=config.admission_budget_seconds,
+            routing_seed=config.routing_seed,
+        )
+
+    # -- request flow --------------------------------------------------------
+    def submit(
+        self,
+        image,
+        client_id: str = "anon",
+        artifact: Optional[str] = None,
+        now: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Enqueue a request; returns its (pool-global) ticket.
+
+        Raises :class:`repro.serve.pool.AdmissionError` when the routed
+        worker is saturated (backpressure — retry after the hint).
+        """
+        return self._dispatcher.submit(
+            self._resolve(artifact), client_id, image, now=now, deadline=deadline
+        )
+
+    def serve_now(
+        self,
+        image,
+        client_id: str = "anon",
+        artifact: Optional[str] = None,
+    ) -> ServeResult:
+        """Run one request immediately on its routed worker."""
+        return self._dispatcher.serve_now(
+            self._resolve(artifact), client_id, image
+        )
+
+    def step(self, now: Optional[float] = None) -> List[ServeResult]:
+        """Run every due batch on every worker."""
+        return self._dispatcher.step(now)
+
+    def drain(self) -> List[ServeResult]:
+        """Flush every queue; afterwards ``stats().in_flight == 0``."""
+        return self._dispatcher.drain()
+
+    def warm(self, batch_sizes=None) -> None:
+        """Pre-run key/cache warm-up on every worker (off the books)."""
+        for worker in self._dispatcher.pool.workers:
+            worker.warm(batch_sizes)
+
+    def close(self) -> None:
+        """Shut the pool down (process workers join their children)."""
+        self._dispatcher.close()
+
+    def _resolve(self, artifact: Optional[str]) -> str:
+        if artifact is None:
+            return self._default_artifact
+        if artifact not in self.artifact_ids:
+            raise KeyError(
+                f"unknown artifact {artifact!r}; serving {self.artifact_ids}"
+            )
+        return artifact
+
+    # -- observability -----------------------------------------------------
+    def stats(self) -> ServerStats:
+        """Typed, schema-versioned pool telemetry (docs/serving.md)."""
+        from repro import kernels
+
+        dispatcher = self._dispatcher
+        return ServerStats(
+            schema_version=STATS_SCHEMA_VERSION,
+            artifacts=self.artifact_ids,
+            requests_submitted=dispatcher.requests_submitted,
+            requests_admitted=dispatcher.requests_admitted,
+            requests_rejected=dispatcher.requests_rejected,
+            requests_completed=dispatcher.requests_completed,
+            in_flight=dispatcher.in_flight,
+            kernel_backend=kernels.active_backend(),
+            workers=tuple(
+                worker.stats() for worker in dispatcher.pool.workers
+            ),
+        )
+
+    @property
+    def workers(self) -> int:
+        return len(self._dispatcher.pool)
+
+    def route(self, client_id: str, artifact: Optional[str] = None) -> int:
+        """Which worker a client's requests land on (deterministic)."""
+        return self._dispatcher.route(self._resolve(artifact), client_id)
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drain()
+        self.close()
+
+
+def open(
+    source: Union[ArtifactSource, Dict[str, ArtifactSource], List[ArtifactSource]],
+    config: Optional[ServerConfig] = None,
+) -> Server:
+    """Open a serving deployment over one or more artifacts.
+
+    Args:
+        source: an artifact path (``.npz``), a loaded
+            :class:`ServingArtifact`, or a dict/list of either for
+            mixed-model serving (dict keys name the artifacts; paths
+            default to their file stem).
+        config: a :class:`ServerConfig`; defaults to a single inline
+            worker.
+
+    Paths are opened through :class:`repro.serve.mmapio.ArtifactMap`,
+    so every worker shares one mmapped copy of the tables.  In-memory
+    artifacts are accepted for ``inline`` pools only — process workers
+    need a path to map.
+    """
+    return Server(_artifact_specs(source), config or ServerConfig())

@@ -160,7 +160,16 @@ class ServingArtifact:
         return installed
 
     # -- io ----------------------------------------------------------------
-    def save(self, path: str) -> str:
+    def save(self, path: str, compress: bool = False) -> str:
+        """Write the artifact.
+
+        Uncompressed (the default) every array member is ``ZIP_STORED``
+        contiguously in the file, so serving workers can map the tables
+        **in place** (:class:`repro.serve.mmapio.ArtifactMap`) and share
+        one resident copy across the whole pool.  ``compress=True``
+        trades that for a smaller file — mapping then goes through the
+        one-time sidecar extraction instead.
+        """
         store = _ArrayStore()
         manifest_doc = {
             "format": FORMAT_NAME,
@@ -192,7 +201,8 @@ class ServingArtifact:
         if not path.endswith(".npz"):
             path = path + ".npz"
         buffer = io.BytesIO()
-        np.savez_compressed(
+        writer = np.savez_compressed if compress else np.savez
+        writer(
             buffer,
             __manifest__=np.frombuffer(
                 json.dumps(manifest_doc).encode("utf-8"), dtype=np.uint8
@@ -204,7 +214,9 @@ class ServingArtifact:
         return path
 
 
-def save_artifact(compiled, params, path: str) -> ServingArtifact:
+def save_artifact(
+    compiled, params, path: str, compress: bool = False
+) -> ServingArtifact:
     """Serialize a :class:`repro.core.compiler.CompiledNetwork`.
 
     Pre-encodes every fused weight-plaintext table at the exact
@@ -238,7 +250,7 @@ def save_artifact(compiled, params, path: str) -> ServingArtifact:
         summary=compiled.summary(),
         encoded=encoded,
     )
-    artifact.save(path)
+    artifact.save(path, compress=compress)
     return artifact
 
 
@@ -292,29 +304,26 @@ def _pre_encode_tables(program: FheProgram, params) -> List[Dict]:
     return sections
 
 
-def load_artifact(path: str) -> ServingArtifact:
-    """Load an artifact; fails loudly on any schema mismatch."""
-    if not path.endswith(".npz"):
-        path = path + ".npz"
-    with np.load(path, allow_pickle=False) as data:
-        if "__manifest__" not in data:
-            raise ArtifactSchemaError(f"{path}: not a serving artifact")
-        manifest_doc = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
-        if manifest_doc.get("format") != FORMAT_NAME:
-            raise ArtifactSchemaError(
-                f"{path}: unknown format {manifest_doc.get('format')!r}"
-            )
-        version = manifest_doc.get("schema_version")
-        if version != SCHEMA_VERSION:
-            raise ArtifactSchemaError(
-                f"{path}: schema version {version!r} is not supported "
-                f"(this build reads version {SCHEMA_VERSION}); "
-                "re-export the artifact"
-            )
-        arrays = {key: data[key] for key in data.files if key != "__manifest__"}
-    program = FheProgram.from_payload(
-        manifest_doc["program"], lambda ref: arrays[ref]
-    )
+def artifact_from_doc(manifest_doc: Dict, get_array, path: str = "<artifact>"):
+    """Build a :class:`ServingArtifact` from a parsed ``__manifest__``
+    document plus an array resolver (``ref -> ndarray``).
+
+    Shared by :func:`load_artifact` (arrays materialized from the npz)
+    and :meth:`repro.serve.mmapio.ArtifactMap.load` (arrays are
+    zero-copy views into shared read-only mapped memory).
+    """
+    if manifest_doc.get("format") != FORMAT_NAME:
+        raise ArtifactSchemaError(
+            f"{path}: unknown format {manifest_doc.get('format')!r}"
+        )
+    version = manifest_doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ArtifactSchemaError(
+            f"{path}: schema version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION}); "
+            "re-export the artifact"
+        )
+    program = FheProgram.from_payload(manifest_doc["program"], get_array)
     encoded = None
     if manifest_doc.get("encoded") is not None:
         encoded = [
@@ -327,7 +336,7 @@ def load_artifact(path: str) -> ServingArtifact:
                         "bo": term["bo"],
                         "bi": term["bi"],
                         "off": term["off"],
-                        "data": arrays[term["data"]],
+                        "data": get_array(term["data"]),
                     }
                     for term in section["terms"]
                 ],
@@ -341,3 +350,15 @@ def load_artifact(path: str) -> ServingArtifact:
         summary=manifest_doc["summary"],
         encoded=encoded,
     )
+
+
+def load_artifact(path: str) -> ServingArtifact:
+    """Load an artifact; fails loudly on any schema mismatch."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        if "__manifest__" not in data:
+            raise ArtifactSchemaError(f"{path}: not a serving artifact")
+        manifest_doc = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
+        arrays = {key: data[key] for key in data.files if key != "__manifest__"}
+    return artifact_from_doc(manifest_doc, lambda ref: arrays[ref], path=path)

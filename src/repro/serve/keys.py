@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Callable, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.ckks.keys import KeyManifest
 
@@ -59,6 +60,11 @@ class KeyRegistry:
         self.max_clients = max_clients
         self._fingerprint = manifest.fingerprint()
         self._clients: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        # In-flight refcounts: a pinned client's keys must never be
+        # LRU-evicted mid-request (evicting them would force a silent
+        # re-keygen — and a *different* key domain — under a request
+        # that already encrypted against the old keys).
+        self._pins: Dict[Tuple[str, str], int] = {}
         self.keygen_count = 0
 
     def __len__(self) -> int:
@@ -88,9 +94,27 @@ class KeyRegistry:
         self._prepare(backend)
         self.keygen_count += 1
         self._clients[key] = backend
-        while len(self._clients) > self.max_clients:
-            self._clients.popitem(last=False)
+        self._shrink()
         return backend
+
+    def _shrink(self) -> None:
+        """Evict LRU entries past capacity, skipping pinned clients.
+
+        A client with in-flight requests (pin count > 0) is never
+        evicted even if it is the least recently used, and neither is
+        the most recently used entry (a request that just built its
+        backend must get the chance to pin it).  The cache may
+        temporarily exceed ``max_clients`` while everything is pinned,
+        and shrinks back as pins release.
+        """
+        if len(self._clients) <= self.max_clients:
+            return
+        for key in list(self._clients)[:-1]:
+            if len(self._clients) <= self.max_clients:
+                return
+            if self._pins.get(key, 0) > 0:
+                continue
+            del self._clients[key]
 
     def _prepare(self, backend) -> None:
         context = getattr(backend, "context", None)
@@ -119,6 +143,51 @@ class KeyRegistry:
             key.size_bytes() for key in context.keys.galois.values()
         )
 
+    # -- in-flight pinning ---------------------------------------------------
+    def pin(self, client_id: str) -> None:
+        """Mark a request in flight for the client: its keys become
+        ineligible for LRU eviction until :meth:`unpin`."""
+        key = (self._fingerprint, client_id)
+        if key not in self._clients:
+            raise KeyError(f"unknown client {client_id!r}")
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, client_id: str) -> None:
+        """Release one in-flight pin; frees eviction when it hits zero."""
+        key = (self._fingerprint, client_id)
+        count = self._pins.get(key, 0)
+        if count <= 0:
+            raise RuntimeError(f"client {client_id!r} is not pinned")
+        if count == 1:
+            del self._pins[key]
+            self._shrink()  # release any deferred over-capacity eviction
+        else:
+            self._pins[key] = count - 1
+
+    def pin_count(self, client_id: str) -> int:
+        return self._pins.get((self._fingerprint, client_id), 0)
+
+    @contextmanager
+    def lease(self, client_id: str, seed: Optional[int] = None):
+        """The request-path entry point: yields the client's backend
+        with its keys pinned for the duration of the request."""
+        backend = self.backend_for(client_id, seed=seed)
+        self.pin(client_id)
+        try:
+            yield backend
+        finally:
+            self.unpin(client_id)
+
     def evict(self, client_id: str) -> bool:
-        """Drop a client's keys (tenant offboarding); True if present."""
-        return self._clients.pop((self._fingerprint, client_id), None) is not None
+        """Drop a client's keys (tenant offboarding); True if present.
+
+        Refuses (``RuntimeError``) while the client has in-flight
+        requests — offboarding must wait for the pins to release.
+        """
+        key = (self._fingerprint, client_id)
+        if self._pins.get(key, 0) > 0:
+            raise RuntimeError(
+                f"client {client_id!r} has {self._pins[key]} in-flight "
+                "request(s); cannot evict its key material"
+            )
+        return self._clients.pop(key, None) is not None

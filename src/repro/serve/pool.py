@@ -1,0 +1,698 @@
+"""The sharded worker pool: dispatcher + N workers over shared tables.
+
+The asynchronous-architecture decoupling that fleet-scale serving
+needs: a front-of-house :class:`Dispatcher` that routes, admits, and
+accounts for requests, and a :class:`WorkerPool` of N workers each
+running *today's* :class:`repro.serve.runtime.InferenceServer` loop —
+one server per hosted artifact, slot-batching its own queue by the
+existing cost/deadline rule.  Nothing about the execution hot path
+changes; the pool is pure orchestration:
+
+- **Shared read-only artifact memory.**  Workers open artifacts through
+  :class:`repro.serve.mmapio.ArtifactMap`: the weight and pre-encoded
+  plaintext tables are mmapped once per machine, so per-worker RSS
+  stays flat as the pool grows (the tables are physically shared pages;
+  ``verify_mmap_tables`` asserts no worker ever copied them).
+- **Deterministic routing.**  Rendezvous (highest-random-weight)
+  hashing of ``(routing_seed, artifact, client)`` over the workers:
+  a client's requests always land on the same worker, so its requests
+  coalesce into that worker's slot batches, and the assignment is
+  reproducible run-to-run — the property the bit-exactness gates are
+  built on.  Load imbalance surfaces as backpressure, never as
+  non-deterministic migration.
+- **Admission control.**  Per-worker queues are bounded
+  (``max_queue_depth``); once the routed worker is full — or its
+  modeled backlog exceeds the configured latency budget — the
+  dispatcher refuses the request with :class:`AdmissionError` carrying
+  a ``retry_after_ms`` hint, rather than letting queues grow without
+  bound.  Conservation holds at every instant:
+  ``submitted == admitted + rejected`` and
+  ``admitted == completed + in_flight``.
+- **Two execution modes.**  ``inline`` runs every worker in-process
+  (deterministic, the mode the correctness gates run under — process
+  parallelism is unmeasurable on a single-core host anyway);
+  ``process`` forks real ``multiprocessing`` workers that each map the
+  same artifact files and serve from their own queues.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.artifact import ServingArtifact
+from repro.serve.keys import default_backend_factory
+from repro.serve.mmapio import ArtifactMap, is_mmap_backed
+from repro.serve.runtime import InferenceServer, ServeResult
+from repro.serve.stats import WorkerStats
+
+
+class AdmissionError(RuntimeError):
+    """The dispatcher refused a request (backpressure).
+
+    Attributes:
+        retry_after_ms: the dispatcher's hint for when capacity should
+            free up (modeled batch latency, or the backlog's overhang
+            past the latency budget).
+        worker_id: the worker the request routed to.
+        queue_depth: that worker's queue depth at refusal time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_ms: float,
+        worker_id: int,
+        queue_depth: int,
+    ):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.worker_id = worker_id
+        self.queue_depth = queue_depth
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """What the dispatcher knows about one (worker, artifact) lane."""
+
+    capacity: int
+    modeled_seconds: float
+    mmap_backed: bool
+
+
+def verify_mmap_tables(server: InferenceServer, artifact_path: str) -> bool:
+    """Assert the worker's tables are mmap-backed views, never copies.
+
+    Checks both table tiers an artifact ships: the float diagonal/bias
+    weight tables inside every linear instruction, and the pre-encoded
+    RNS plaintext polynomials preloading installed into the backend's
+    caches.  Raises ``RuntimeError`` naming the offender on violation —
+    a copied table silently multiplies fleet RSS by the worker count,
+    which is exactly the regression this guard exists to catch.
+    """
+    from repro.core.program import LinearInstr
+
+    for instr in server.program.instructions:
+        if not isinstance(instr, LinearInstr):
+            continue
+        packed = instr.packed
+        for (bo, bi), dmap in packed.diags.items():
+            for off, vec in dmap.items():
+                if not is_mmap_backed(vec):
+                    raise RuntimeError(
+                        f"{artifact_path}: weight diagonal "
+                        f"{instr.name}[bo={bo},bi={bi},off={off}] was "
+                        "copied off the artifact map"
+                    )
+        if packed.bias_vecs is not None:
+            for vec in packed.bias_vecs:
+                if not is_mmap_backed(vec):
+                    raise RuntimeError(
+                        f"{artifact_path}: bias table of {instr.name} was "
+                        "copied off the artifact map"
+                    )
+        per_backend = packed._pt_cache.get(server.backend)
+        if not per_backend:
+            continue
+        # Only the ("fused", ...) caches hold the artifact's pre-encoded
+        # tables (artifact.preload installs them there); zero/bias
+        # plaintexts under other keys are small runtime encodes, not
+        # table copies.
+        for key, cache in per_backend.items():
+            if not (isinstance(key, tuple) and key and key[0] == "fused"):
+                continue
+            for pt, _pt_ext in cache.values():
+                if not is_mmap_backed(pt.poly.data):
+                    raise RuntimeError(
+                        f"{artifact_path}: pre-encoded plaintext table of "
+                        f"{instr.name} was copied off the artifact map"
+                    )
+    return True
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One artifact hosted by the pool."""
+
+    artifact_id: str
+    path: Optional[str] = None
+    artifact: Optional[ServingArtifact] = None
+
+    def __post_init__(self):
+        if self.path is None and self.artifact is None:
+            raise ValueError("ArtifactSpec needs a path or a loaded artifact")
+
+
+def _worker_seed(key_seed: int, key_policy: str, worker_id: int) -> int:
+    # "shared": every worker holds the same key domain (bit-identical
+    # keygen), so any worker's response decrypts under the pool key and
+    # a solo replay with key_seed reproduces any worker bit-for-bit.
+    if key_policy == "shared":
+        return key_seed
+    return key_seed + worker_id
+
+
+def _build_servers(
+    worker_id: int,
+    specs: Tuple[ArtifactSpec, ...],
+    *,
+    key_seed: int,
+    key_policy: str,
+    batching: bool,
+    max_batch: Optional[int],
+    batch_window_seconds: float,
+    preload: bool,
+    backend_factory: Optional[Callable],
+    shared_artifacts: Optional[Dict[str, ServingArtifact]] = None,
+) -> Tuple[Dict[str, InferenceServer], Dict[str, WorkerProfile]]:
+    """Load every hosted artifact (mmap when given a path) and stand up
+    one InferenceServer per artifact for this worker."""
+    factory = backend_factory or default_backend_factory
+    seed = _worker_seed(key_seed, key_policy, worker_id)
+    servers: Dict[str, InferenceServer] = {}
+    profiles: Dict[str, WorkerProfile] = {}
+    for spec in specs:
+        mmapped = False
+        if shared_artifacts is not None and spec.artifact_id in shared_artifacts:
+            artifact = shared_artifacts[spec.artifact_id]
+            mmapped = spec.path is not None
+        elif spec.path is not None:
+            artifact = ArtifactMap(spec.path).load()
+            mmapped = True
+            if shared_artifacts is not None:
+                shared_artifacts[spec.artifact_id] = artifact
+        else:
+            artifact = spec.artifact
+        backend = factory(artifact.manifest.to_params(), seed)
+        server = InferenceServer(
+            artifact,
+            backend,
+            batching=batching,
+            max_batch=max_batch,
+            max_wait_seconds=batch_window_seconds,
+            preload=preload,
+        )
+        if mmapped:
+            verify_mmap_tables(server, spec.path)
+        servers[spec.artifact_id] = server
+        profiles[spec.artifact_id] = WorkerProfile(
+            capacity=server.scheduler.capacity,
+            modeled_seconds=server.scheduler.modeled_run_seconds,
+            mmap_backed=mmapped,
+        )
+    return servers, profiles
+
+
+class InlineWorker:
+    """One shard running in-process: a dict of InferenceServers.
+
+    The deterministic reference implementation — identical code to what
+    a process worker runs in its child, minus the queue transport.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        specs: Tuple[ArtifactSpec, ...],
+        *,
+        shared_artifacts: Optional[Dict[str, ServingArtifact]] = None,
+        **build_opts,
+    ):
+        self.worker_id = worker_id
+        self.servers, self.profiles = _build_servers(
+            worker_id, specs, shared_artifacts=shared_artifacts, **build_opts
+        )
+        # Inner (per-server) ticket -> the dispatcher's global ticket.
+        self._tickets: Dict[Tuple[str, int], int] = {}
+
+    # -- intake ------------------------------------------------------------
+    def submit(
+        self,
+        ticket: int,
+        artifact_id: str,
+        client_id: str,
+        payload,
+        now: Optional[float],
+        deadline: Optional[float],
+    ) -> None:
+        inner = self.servers[artifact_id].submit(
+            payload, client_id=client_id, now=now, deadline=deadline
+        )
+        self._tickets[(artifact_id, inner)] = ticket
+
+    def serve_now(
+        self, ticket: int, artifact_id: str, client_id: str, payload
+    ) -> ServeResult:
+        result = self.servers[artifact_id].serve_now(payload, client_id=client_id)
+        return self._stamp(result, artifact_id, ticket)
+
+    # -- execution ---------------------------------------------------------
+    def begin_step(self, now: Optional[float]) -> None:
+        pass  # inline workers run synchronously in finish_step
+
+    def finish_step(self, now: Optional[float]) -> List[ServeResult]:
+        results: List[ServeResult] = []
+        for artifact_id, server in self.servers.items():
+            for result in server.step(now):
+                results.append(self._stamp(result, artifact_id))
+        return results
+
+    def drain(self) -> List[ServeResult]:
+        results: List[ServeResult] = []
+        for artifact_id, server in self.servers.items():
+            for result in server.drain():
+                results.append(self._stamp(result, artifact_id))
+        return results
+
+    def warm(self, batch_sizes=None) -> None:
+        for server in self.servers.values():
+            server.warm(batch_sizes=batch_sizes)
+
+    def _stamp(
+        self, result: ServeResult, artifact_id: str, ticket: Optional[int] = None
+    ) -> ServeResult:
+        if ticket is None:
+            ticket = self._tickets.pop((artifact_id, result.ticket))
+        result.ticket = ticket
+        result.artifact_id = artifact_id
+        result.worker_id = self.worker_id
+        return result
+
+    # -- observability -----------------------------------------------------
+    def queue_depths(self) -> Dict[str, int]:
+        return {
+            artifact_id: len(server.scheduler)
+            for artifact_id, server in self.servers.items()
+        }
+
+    def queue_depth(self) -> int:
+        return sum(self.queue_depths().values())
+
+    def stats(self) -> WorkerStats:
+        combined: Optional[WorkerStats] = None
+        for artifact_id, server in self.servers.items():
+            stats = WorkerStats.from_server(
+                self.worker_id,
+                server,
+                queue_depth=len(server.scheduler),
+                mmap_backed=self.profiles[artifact_id].mmap_backed,
+            )
+            combined = stats if combined is None else combined.merged_with(stats)
+        return combined
+
+    def close(self) -> None:
+        pass
+
+
+# -- process workers --------------------------------------------------------
+
+
+def _process_worker_main(
+    worker_id: int,
+    specs: Tuple[ArtifactSpec, ...],
+    build_opts: Dict,
+    kernel_backend: Optional[str],
+    request_queue,
+    response_queue,
+) -> None:
+    """Child entry point: map the artifacts, serve the queue until stop.
+
+    The child maps the same artifact files as every sibling (shared
+    page-cache residency — the whole point), builds its own key domain,
+    and then runs a plain message loop: submit / step / drain / stats.
+    """
+    try:
+        if kernel_backend is not None:
+            from repro import kernels
+
+            kernels.select_backend(
+                None if kernel_backend == "auto" else kernel_backend
+            )
+        worker = InlineWorker(worker_id, specs, **build_opts)
+        response_queue.put(
+            ("ready", worker_id, {aid: p for aid, p in worker.profiles.items()})
+        )
+    except Exception as exc:  # pragma: no cover - startup failure path
+        response_queue.put(("error", worker_id, repr(exc)))
+        return
+    while True:
+        message = request_queue.get()
+        kind = message[0]
+        try:
+            if kind == "submit":
+                _, ticket, artifact_id, client_id, payload, now, deadline = message
+                worker.submit(ticket, artifact_id, client_id, payload, now, deadline)
+            elif kind == "serve_now":
+                _, ticket, artifact_id, client_id, payload = message
+                result = worker.serve_now(ticket, artifact_id, client_id, payload)
+                response_queue.put(("result", worker_id, _result_payload(result)))
+                response_queue.put(("done", worker_id, 1))
+            elif kind == "step":
+                results = worker.finish_step(message[1])
+                for result in results:
+                    response_queue.put(("result", worker_id, _result_payload(result)))
+                response_queue.put(("done", worker_id, len(results)))
+            elif kind == "drain":
+                results = worker.drain()
+                for result in results:
+                    response_queue.put(("result", worker_id, _result_payload(result)))
+                response_queue.put(("done", worker_id, len(results)))
+            elif kind == "stats":
+                response_queue.put(
+                    ("stats", worker_id, worker.stats().to_payload())
+                )
+            elif kind == "warm":
+                worker.warm(message[1])
+                response_queue.put(("done", worker_id, 0))
+            elif kind == "stop":
+                response_queue.put(("stopped", worker_id, None))
+                return
+        except Exception as exc:  # pragma: no cover - fail loudly upstream
+            response_queue.put(("error", worker_id, repr(exc)))
+            return
+
+
+def _result_payload(result: ServeResult) -> Dict:
+    return {
+        "ticket": result.ticket,
+        "client_id": result.client_id,
+        "output": np.asarray(result.output),
+        "batch_size": result.batch_size,
+        "reason": result.reason,
+        "wall_seconds": result.wall_seconds,
+        "modeled_seconds": result.modeled_seconds,
+        "artifact_id": result.artifact_id,
+        "worker_id": result.worker_id,
+    }
+
+
+class ProcessWorker:
+    """One shard as a real ``multiprocessing`` child over the same maps.
+
+    The parent mirrors queue depths (incremented on submit, decremented
+    as results stream back) so admission control never needs a blocking
+    round trip into the child.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        specs: Tuple[ArtifactSpec, ...],
+        *,
+        kernel_backend: Optional[str] = None,
+        **build_opts,
+    ):
+        import multiprocessing
+
+        for spec in specs:
+            if spec.path is None:
+                raise ValueError(
+                    "process workers need artifact paths (shared mmap), "
+                    f"got an in-memory artifact for {spec.artifact_id!r}"
+                )
+        if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only guard
+            raise RuntimeError("process mode requires a fork-capable platform")
+        context = multiprocessing.get_context("fork")
+        self.worker_id = worker_id
+        self._requests = context.Queue()
+        self._responses = context.Queue()
+        self._depths: Dict[str, int] = {spec.artifact_id: 0 for spec in specs}
+        self._process = context.Process(
+            target=_process_worker_main,
+            args=(
+                worker_id,
+                specs,
+                build_opts,
+                kernel_backend,
+                self._requests,
+                self._responses,
+            ),
+            daemon=True,
+        )
+        self._process.start()
+        kind, _, payload = self._responses.get()
+        if kind == "error":
+            raise RuntimeError(f"worker {worker_id} failed to start: {payload}")
+        self.profiles: Dict[str, WorkerProfile] = dict(payload)
+
+    # -- intake ------------------------------------------------------------
+    def submit(self, ticket, artifact_id, client_id, payload, now, deadline):
+        self._requests.put(
+            ("submit", ticket, artifact_id, client_id, np.asarray(payload), now, deadline)
+        )
+        self._depths[artifact_id] += 1
+
+    def serve_now(self, ticket, artifact_id, client_id, payload) -> ServeResult:
+        self._requests.put(
+            ("serve_now", ticket, artifact_id, client_id, np.asarray(payload))
+        )
+        results = self._collect()
+        return results[0]
+
+    # -- execution ---------------------------------------------------------
+    def begin_step(self, now: Optional[float]) -> None:
+        self._requests.put(("step", now))
+
+    def finish_step(self, now: Optional[float]) -> List[ServeResult]:
+        return self._collect()
+
+    def drain(self) -> List[ServeResult]:
+        self._requests.put(("drain",))
+        return self._collect()
+
+    def warm(self, batch_sizes=None) -> None:
+        self._requests.put(("warm", batch_sizes))
+        self._collect()
+
+    def _collect(self) -> List[ServeResult]:
+        """Read responses until the worker's 'done' marker."""
+        results: List[ServeResult] = []
+        while True:
+            kind, _, payload = self._responses.get()
+            if kind == "result":
+                result = ServeResult(**payload)
+                self._depths[result.artifact_id] -= 1
+                results.append(result)
+            elif kind == "done":
+                return results
+            elif kind == "error":
+                raise RuntimeError(f"worker {self.worker_id} died: {payload}")
+
+    # -- observability -----------------------------------------------------
+    def queue_depths(self) -> Dict[str, int]:
+        return dict(self._depths)
+
+    def queue_depth(self) -> int:
+        return sum(self._depths.values())
+
+    def stats(self) -> WorkerStats:
+        self._requests.put(("stats",))
+        while True:
+            kind, _, payload = self._responses.get()
+            if kind == "stats":
+                return WorkerStats.from_payload(payload)
+            if kind == "error":
+                raise RuntimeError(f"worker {self.worker_id} died: {payload}")
+
+    def close(self) -> None:
+        if self._process.is_alive():
+            self._requests.put(("stop",))
+            self._process.join(timeout=10.0)
+            if self._process.is_alive():  # pragma: no cover - stuck child
+                self._process.terminate()
+                self._process.join(timeout=5.0)
+
+
+class WorkerPool:
+    """N workers sharding the hosted artifacts (lifecycle owner)."""
+
+    def __init__(
+        self,
+        specs: Tuple[ArtifactSpec, ...],
+        num_workers: int,
+        *,
+        mode: str = "inline",
+        kernel_backend: Optional[str] = None,
+        **build_opts,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.specs = tuple(specs)
+        self.mode = mode
+        self.workers: List[object] = []
+        if mode == "inline":
+            # One shared load of each mmapped artifact for the whole
+            # pool: the program object (and its mapped tables) is
+            # reference-shared; per-worker state lives in the backends.
+            shared: Dict[str, ServingArtifact] = {}
+            for worker_id in range(num_workers):
+                self.workers.append(
+                    InlineWorker(
+                        worker_id,
+                        self.specs,
+                        shared_artifacts=shared,
+                        **build_opts,
+                    )
+                )
+        elif mode == "process":
+            for worker_id in range(num_workers):
+                self.workers.append(
+                    ProcessWorker(
+                        worker_id,
+                        self.specs,
+                        kernel_backend=kernel_backend,
+                        **build_opts,
+                    )
+                )
+        else:
+            raise ValueError(f"unknown pool mode {mode!r}")
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+
+class Dispatcher:
+    """Routing, admission, and conservation accounting for a pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        max_queue_depth: int = 32,
+        admission_budget_seconds: Optional[float] = None,
+        routing_seed: int = 0,
+    ):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        self.pool = pool
+        self.max_queue_depth = max_queue_depth
+        self.admission_budget_seconds = admission_budget_seconds
+        self.routing_seed = routing_seed
+        self.requests_submitted = 0
+        self.requests_admitted = 0
+        self.requests_rejected = 0
+        self.requests_completed = 0
+        self._next_ticket = 0
+        self._closed = False
+
+    # -- routing -----------------------------------------------------------
+    def route(self, artifact_id: str, client_id: str) -> int:
+        """Rendezvous-hash the request onto a worker (deterministic)."""
+        best_worker, best_score = 0, -1
+        for worker_id in range(len(self.pool)):
+            digest = hashlib.sha256(
+                f"{self.routing_seed}/{artifact_id}/{client_id}/{worker_id}".encode()
+            ).digest()
+            score = int.from_bytes(digest[:8], "big")
+            if score > best_score:
+                best_worker, best_score = worker_id, score
+        return best_worker
+
+    # -- admission ---------------------------------------------------------
+    def _backlog_seconds(self, worker) -> float:
+        """Modeled time to clear the worker's current queues."""
+        total = 0.0
+        for artifact_id, depth in worker.queue_depths().items():
+            if depth == 0:
+                continue
+            profile = worker.profiles[artifact_id]
+            batches = math.ceil(depth / max(1, profile.capacity))
+            total += batches * profile.modeled_seconds
+        return total
+
+    def _admit(self, worker, artifact_id: str) -> None:
+        depth = worker.queue_depth()
+        profile = worker.profiles[artifact_id]
+        if depth >= self.max_queue_depth:
+            retry_ms = max(1.0, profile.modeled_seconds * 1e3)
+            self.requests_rejected += 1
+            raise AdmissionError(
+                f"worker {worker.worker_id} queue is full "
+                f"({depth}/{self.max_queue_depth}); retry in ~{retry_ms:.0f}ms",
+                retry_after_ms=retry_ms,
+                worker_id=worker.worker_id,
+                queue_depth=depth,
+            )
+        if self.admission_budget_seconds is not None:
+            estimate = self._backlog_seconds(worker) + profile.modeled_seconds
+            if estimate > self.admission_budget_seconds:
+                overhang = estimate - self.admission_budget_seconds
+                retry_ms = max(1.0, overhang * 1e3)
+                self.requests_rejected += 1
+                raise AdmissionError(
+                    f"worker {worker.worker_id} backlog {estimate * 1e3:.0f}ms "
+                    f"exceeds the {self.admission_budget_seconds * 1e3:.0f}ms "
+                    f"latency budget; retry in ~{retry_ms:.0f}ms",
+                    retry_after_ms=retry_ms,
+                    worker_id=worker.worker_id,
+                    queue_depth=depth,
+                )
+
+    # -- request flow --------------------------------------------------------
+    def submit(
+        self,
+        artifact_id: str,
+        client_id: str,
+        payload,
+        now: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        worker = self.pool.workers[self.route(artifact_id, client_id)]
+        self.requests_submitted += 1
+        self._admit(worker, artifact_id)  # raises AdmissionError (counted)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        worker.submit(ticket, artifact_id, client_id, payload, now, deadline)
+        self.requests_admitted += 1
+        return ticket
+
+    def serve_now(self, artifact_id: str, client_id: str, payload) -> ServeResult:
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        worker = self.pool.workers[self.route(artifact_id, client_id)]
+        self.requests_submitted += 1
+        self._admit(worker, artifact_id)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self.requests_admitted += 1
+        result = worker.serve_now(ticket, artifact_id, client_id, payload)
+        self.requests_completed += 1
+        return result
+
+    def step(self, now: Optional[float] = None) -> List[ServeResult]:
+        """Run every due batch on every worker (process workers overlap)."""
+        for worker in self.pool.workers:
+            worker.begin_step(now)
+        results: List[ServeResult] = []
+        for worker in self.pool.workers:
+            results.extend(worker.finish_step(now))
+        self.requests_completed += len(results)
+        return results
+
+    def drain(self) -> List[ServeResult]:
+        """Flush every queue (graceful shutdown: zero in-flight after)."""
+        results: List[ServeResult] = []
+        for worker in self.pool.workers:
+            results.extend(worker.drain())
+        self.requests_completed += len(results)
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+        self.pool.close()
+
+    # -- observability -----------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self.requests_admitted - self.requests_completed

@@ -34,7 +34,12 @@ from repro.serve.scheduler import Batch, SlotBatchingScheduler
 
 @dataclass
 class ServeResult:
-    """One completed request."""
+    """One completed request.
+
+    ``artifact_id`` / ``worker_id`` are stamped by the worker pool
+    (:mod:`repro.serve.pool`); a bare :class:`InferenceServer` leaves
+    them ``None``.
+    """
 
     ticket: int
     client_id: str
@@ -43,6 +48,8 @@ class ServeResult:
     reason: str
     wall_seconds: float
     modeled_seconds: float
+    artifact_id: Optional[str] = None
+    worker_id: Optional[int] = None
 
 
 class InferenceServer:

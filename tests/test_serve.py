@@ -24,11 +24,11 @@ from repro.nn import init
 from repro.orion import OrionNetwork
 from repro.serve import (
     ArtifactSchemaError,
-    InferenceServer,
     KeyRegistry,
-    SlotBatchingScheduler,
     load_artifact,
 )
+from repro.serve.runtime import InferenceServer
+from repro.serve.scheduler import SlotBatchingScheduler
 
 
 def _toy_params(ks_alpha: int = 1):

@@ -1,0 +1,486 @@
+"""Tests for fleet-scale serving: the sharded worker pool behind
+``repro.serve.open``.
+
+The correctness gates of the pool PR:
+
+- **routing determinism** — rendezvous hashing pins every
+  (artifact, client) to one worker, reproducibly across deployments;
+- **per-worker bit-exactness** — each pool worker's outputs are
+  bit-identical to a solo ``InferenceServer`` replaying the same
+  requests (the pool is pure orchestration; the hot path is untouched);
+- **admission conservation** — ``submitted == admitted + rejected`` and
+  ``admitted == completed + in_flight`` at every observation point,
+  including under overload and after drain;
+- **shared mmap tables** — workers serve from read-only mmap-backed
+  views of the artifact; no table is ever copied on the request path;
+- **shim parity** — the deprecated ``repro.serve.InferenceServer``
+  import warns but behaves bit-identically to the internal class;
+- **typed stats** — ``ServerStats`` round-trips through JSON and
+  rejects foreign schema versions;
+- **key pinning** — the registry never LRU-evicts key material with
+  in-flight requests.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import serve
+from repro.ckks.params import toy_parameters
+from repro.models import SecureMlp
+from repro.nn import init
+from repro.orion import OrionNetwork
+from repro.serve import (
+    AdmissionError,
+    ArtifactMap,
+    KeyRegistry,
+    ServerConfig,
+    ServerStats,
+    StatsSchemaError,
+    is_mmap_backed,
+)
+from repro.serve.keys import default_backend_factory
+from repro.serve.pool import verify_mmap_tables
+from repro.serve.runtime import InferenceServer
+
+
+def _params():
+    return toy_parameters(
+        ring_degree=1024, max_level=6, boot_levels=1, scale_bits=24
+    )
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tmp_path_factory):
+    init.seed_init(0)
+    onet = OrionNetwork(SecureMlp(input_pixels=64, hidden=16), (1, 8, 8))
+    rng = np.random.default_rng(0)
+    onet.fit([rng.normal(0, 0.5, (8, 1, 8, 8))])
+    params = _params()
+    path = str(tmp_path_factory.mktemp("artifacts") / "mlp.npz")
+    onet.export(path, params)
+    return path
+
+
+def _images(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, 0.5, (1, 8, 8)) for _ in range(n)]
+
+
+def _pool_config(**overrides):
+    base = dict(workers=4, batch_window_seconds=0.0, max_queue_depth=8)
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+class TestRouting:
+    def test_deterministic_across_deployments(self, artifact_path):
+        clients = [f"client-{i}" for i in range(32)]
+        with serve.open(artifact_path, _pool_config()) as a:
+            routes_a = [a.route(c) for c in clients]
+            routes_again = [a.route(c) for c in clients]
+        with serve.open(artifact_path, _pool_config()) as b:
+            routes_b = [b.route(c) for c in clients]
+        assert routes_a == routes_again == routes_b
+        # Rendezvous hashing over 32 clients should touch every worker.
+        assert set(routes_a) == {0, 1, 2, 3}
+
+    def test_routing_seed_reshuffles(self, artifact_path):
+        clients = [f"client-{i}" for i in range(32)]
+        with serve.open(artifact_path, _pool_config(routing_seed=0)) as a:
+            routes_a = [a.route(c) for c in clients]
+        with serve.open(artifact_path, _pool_config(routing_seed=1)) as b:
+            routes_b = [b.route(c) for c in clients]
+        assert routes_a != routes_b
+
+    def test_results_are_stamped_with_route(self, artifact_path):
+        with serve.open(artifact_path, _pool_config()) as server:
+            for i, image in enumerate(_images(6)):
+                server.submit(image, client_id=f"client-{i}")
+            results = server.drain()
+            for result in results:
+                assert result.worker_id == server.route(result.client_id)
+                assert result.artifact_id == server.artifact_ids[0]
+
+
+class TestBitExactness:
+    def test_per_worker_matches_solo_server(self, artifact_path):
+        """Each pool worker == a solo InferenceServer replaying its
+        share of the traffic (same key seed, same batching rule)."""
+        images = _images(10)
+        clients = [f"client-{i}" for i in range(len(images))]
+        with serve.open(artifact_path, _pool_config()) as server:
+            for client, image in zip(clients, images):
+                server.submit(image, client_id=client)
+            pool_results = {r.client_id: r for r in server.drain()}
+            shares = {}
+            for client, image in zip(clients, images):
+                shares.setdefault(server.route(client), []).append(
+                    (client, image)
+                )
+        artifact = ArtifactMap(artifact_path).load()
+        for worker_id, share in shares.items():
+            solo = InferenceServer(
+                artifact,
+                default_backend_factory(artifact.manifest.to_params(), 0),
+                batching=True,
+                max_wait_seconds=0.0,
+            )
+            for client, image in share:
+                solo.submit(image, client_id=client)
+            for solo_result in solo.drain():
+                pool_result = pool_results[solo_result.client_id]
+                assert pool_result.worker_id == worker_id
+                assert pool_result.batch_size == solo_result.batch_size
+                assert np.array_equal(pool_result.output, solo_result.output)
+
+    def test_serve_now_matches_solo(self, artifact_path):
+        image = _images(1)[0]
+        with serve.open(artifact_path, _pool_config()) as server:
+            pool_result = server.serve_now(image, client_id="alice")
+        artifact = ArtifactMap(artifact_path).load()
+        solo = InferenceServer(
+            artifact,
+            default_backend_factory(artifact.manifest.to_params(), 0),
+            batching=True,
+            max_wait_seconds=0.0,
+        )
+        solo_result = solo.serve_now(image, client_id="alice")
+        assert np.array_equal(pool_result.output, solo_result.output)
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_retry_hint(self, artifact_path):
+        config = _pool_config(max_queue_depth=2)
+        with serve.open(artifact_path, config) as server:
+            # One client -> one worker; the third submit must bounce.
+            images = _images(6)
+            admitted, rejections = 0, []
+            for image in images:
+                try:
+                    server.submit(image, client_id="hammer")
+                    admitted += 1
+                except AdmissionError as exc:
+                    rejections.append(exc)
+            assert admitted == 2
+            assert len(rejections) == 4
+            for exc in rejections:
+                assert exc.retry_after_ms > 0
+                assert exc.worker_id == server.route("hammer")
+                assert exc.queue_depth == 2
+            server.drain()
+
+    def test_conservation_under_overload(self, artifact_path):
+        config = _pool_config(max_queue_depth=2)
+        with serve.open(artifact_path, config) as server:
+            for i, image in enumerate(_images(16)):
+                try:
+                    server.submit(image, client_id=f"client-{i % 3}")
+                except AdmissionError:
+                    pass
+                if i == 7:  # conservation holds mid-stream, queues nonempty
+                    mid = server.stats()
+                    assert mid.requests_submitted == 8
+                    assert mid.in_flight > 0
+            stats = server.stats()
+            assert stats.requests_submitted == 16
+            assert stats.requests_rejected > 0
+            assert (
+                stats.requests_submitted
+                == stats.requests_admitted + stats.requests_rejected
+            )
+            server.drain()
+            final = server.stats()
+            assert final.in_flight == 0
+            assert final.requests_completed == final.requests_admitted
+            assert 0.0 < final.reject_rate < 1.0
+
+    def test_latency_budget_rejects(self, artifact_path):
+        # Budget sized to one modeled batch: the first request fits,
+        # a second on the same worker overflows the backlog estimate.
+        probe = serve.open(artifact_path, _pool_config())
+        modeled = next(
+            iter(probe._dispatcher.pool.workers[0].profiles.values())
+        ).modeled_seconds
+        probe.close()
+        config = _pool_config(
+            max_queue_depth=64, admission_budget_seconds=modeled * 1.5
+        )
+        with serve.open(artifact_path, config) as server:
+            server.submit(_images(1)[0], client_id="alice")
+            with pytest.raises(AdmissionError) as exc_info:
+                server.submit(_images(1)[0], client_id="alice")
+            assert "budget" in str(exc_info.value)
+            server.drain()
+
+    def test_drain_leaves_zero_in_flight(self, artifact_path):
+        with serve.open(artifact_path, _pool_config()) as server:
+            tickets = [
+                server.submit(image, client_id=f"client-{i}")
+                for i, image in enumerate(_images(8))
+            ]
+            results = server.drain()
+            assert sorted(r.ticket for r in results) == sorted(tickets)
+            stats = server.stats()
+            assert stats.in_flight == 0
+            assert stats.requests_completed == len(tickets)
+
+
+class TestSharedMmapTables:
+    def test_worker_tables_are_mmap_backed(self, artifact_path):
+        with serve.open(artifact_path, _pool_config()) as server:
+            server.serve_now(_images(1)[0], client_id="alice")
+            stats = server.stats()
+            assert all(w.mmap_backed for w in stats.workers)
+            for worker in server._dispatcher.pool.workers:
+                for inner in worker.servers.values():
+                    assert verify_mmap_tables(inner, artifact_path)
+
+    def test_mapped_arrays_are_read_only(self, artifact_path):
+        amap = ArtifactMap(artifact_path)
+        assert amap.inplace  # serving exports are uncompressed
+        assert amap.mapped_bytes() > 0
+        for name, array in amap.arrays.items():
+            assert is_mmap_backed(array), name
+            with pytest.raises((ValueError, TypeError)):
+                array[...] = 0
+
+    def test_verify_rejects_copied_tables(self, artifact_path):
+        """A worker built from a plain (heap-loaded) artifact must fail
+        the mmap audit — the guard actually detects copies."""
+        artifact = serve.load_artifact(artifact_path)
+        solo = InferenceServer(
+            artifact,
+            default_backend_factory(artifact.manifest.to_params(), 0),
+            max_wait_seconds=0.0,
+        )
+        with pytest.raises(RuntimeError, match="copied off the artifact map"):
+            verify_mmap_tables(solo, artifact_path)
+
+    def test_compressed_artifact_maps_via_sidecar(
+        self, artifact_path, tmp_path
+    ):
+        artifact = serve.load_artifact(artifact_path)
+        compressed = str(tmp_path / "mlp_compressed.npz")
+        artifact.save(compressed, compress=True)
+        amap = ArtifactMap(compressed)
+        assert not amap.inplace
+        for name, array in amap.arrays.items():
+            assert is_mmap_backed(array), name
+        # The sidecar is stamped and re-used by subsequent opens.
+        again = ArtifactMap(compressed)
+        assert not again.inplace
+        reference = ArtifactMap(artifact_path).load()
+        image = _images(1)[0]
+        expected = reference.program.run_cleartext_packed(image)
+        actual = amap.load().program.run_cleartext_packed(image)
+        assert np.array_equal(expected, actual)
+
+
+class TestFrontDoor:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServerConfig(mode="threads")
+        with pytest.raises(ValueError):
+            ServerConfig(key_policy="rotating")
+        with pytest.raises(ValueError):
+            ServerConfig(kernel_backend="cuda")
+        with pytest.raises(ValueError):
+            ServerConfig(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            ServerConfig(admission_budget_seconds=0.0)
+        config = ServerConfig().with_overrides(workers=2)
+        assert config.workers == 2
+
+    def test_open_accepts_loaded_artifact(self, artifact_path):
+        artifact = serve.load_artifact(artifact_path)
+        with serve.open(artifact, ServerConfig(batch_window_seconds=0.0)) as server:
+            result = server.serve_now(_images(1)[0], client_id="alice")
+            assert result.worker_id == 0
+            # In-memory artifacts cannot be mmap-shared; stats say so.
+            assert not server.stats().workers[0].mmap_backed
+
+    def test_open_mixed_artifacts(self, artifact_path):
+        source = {"mlp-a": artifact_path, "mlp-b": artifact_path}
+        with serve.open(source, _pool_config(workers=2)) as server:
+            assert server.artifact_ids == ("mlp-a", "mlp-b")
+            image = _images(1)[0]
+            a = server.serve_now(image, client_id="alice", artifact="mlp-a")
+            b = server.serve_now(image, client_id="alice", artifact="mlp-b")
+            assert a.artifact_id == "mlp-a" and b.artifact_id == "mlp-b"
+            assert np.array_equal(a.output, b.output)
+            with pytest.raises(KeyError):
+                server.submit(image, artifact="mlp-c")
+
+    def test_unknown_artifact_and_duplicate_ids(self, artifact_path):
+        with pytest.raises(ValueError, match="duplicate"):
+            serve.open([artifact_path, artifact_path])
+        with pytest.raises(TypeError):
+            serve.open(123)
+
+    def test_deprecated_shims_warn_and_match(self, artifact_path):
+        artifact = ArtifactMap(artifact_path).load()
+        params = artifact.manifest.to_params()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = serve.InferenceServer(
+                artifact,
+                default_backend_factory(params, 0),
+                max_wait_seconds=0.0,
+            )
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        internal = InferenceServer(
+            artifact,
+            default_backend_factory(params, 0),
+            max_wait_seconds=0.0,
+        )
+        image = _images(1)[0]
+        assert np.array_equal(
+            shim.serve_now(image).output, internal.serve_now(image).output
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            scheduler = serve.SlotBatchingScheduler(capacity=4)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert scheduler.capacity == 4
+
+
+class TestStatsSchema:
+    def test_round_trip(self, artifact_path):
+        with serve.open(artifact_path, _pool_config()) as server:
+            for i, image in enumerate(_images(5)):
+                server.submit(image, client_id=f"client-{i}")
+            server.drain()
+            stats = server.stats()
+        doc = stats.to_json(indent=2)
+        assert ServerStats.from_json(doc) == stats
+        payload = json.loads(doc)
+        assert payload["schema_version"] == serve.STATS_SCHEMA_VERSION
+        assert payload["reject_rate"] == 0.0
+        assert len(payload["workers"]) == 4
+
+    def test_foreign_schema_version_rejected(self, artifact_path):
+        with serve.open(artifact_path, ServerConfig()) as server:
+            payload = server.stats().to_payload()
+        payload["schema_version"] = 999
+        with pytest.raises(StatsSchemaError):
+            ServerStats.from_payload(payload)
+
+    def test_conservation_enforced_by_schema(self):
+        with pytest.raises(ValueError, match="conservation"):
+            ServerStats(
+                schema_version=serve.STATS_SCHEMA_VERSION,
+                artifacts=("mlp",),
+                requests_submitted=5,
+                requests_admitted=3,
+                requests_rejected=1,
+                requests_completed=3,
+                in_flight=0,
+                kernel_backend="numpy",
+                workers=(),
+            )
+
+
+class TestKeyPinning:
+    @pytest.fixture(scope="class")
+    def manifest(self, artifact_path):
+        return serve.load_artifact(artifact_path).manifest
+
+    def test_pinned_client_survives_lru_pressure(self, manifest):
+        registry = KeyRegistry(manifest, max_clients=2)
+        registry.backend_for("a")
+        registry.pin("a")  # request in flight on a's keys
+        registry.backend_for("b")
+        registry.backend_for("c")  # over capacity: 'a' is LRU but pinned,
+        assert registry.keygen_count == 3  # so 'b' is evicted instead
+        backend = registry.backend_for("a")  # no re-keygen
+        assert registry.keygen_count == 3
+        assert backend is registry.backend_for("a")
+        registry.backend_for("b")  # re-keygen 'b', evicts 'c'
+        assert registry.keygen_count == 4
+        registry.unpin("a")
+        # Released: 'a' is the LRU victim of the next insert.
+        registry.backend_for("c")
+        assert registry.keygen_count == 5
+        registry.backend_for("a")  # now a cache miss again
+        assert registry.keygen_count == 6
+
+    def test_unpin_releases_deferred_eviction(self, manifest):
+        registry = KeyRegistry(manifest, max_clients=1)
+        registry.backend_for("a")
+        registry.pin("a")
+        registry.backend_for("b")  # cannot shrink: 'a' pinned, 'b' newest
+        assert len(registry) == 2
+        registry.unpin("a")
+        assert len(registry) == 1
+
+    def test_evict_refuses_pinned(self, manifest):
+        registry = KeyRegistry(manifest)
+        registry.backend_for("a")
+        registry.pin("a")
+        registry.pin("a")
+        with pytest.raises(RuntimeError, match="in-flight"):
+            registry.evict("a")
+        registry.unpin("a")
+        with pytest.raises(RuntimeError, match="in-flight"):
+            registry.evict("a")
+        registry.unpin("a")
+        assert registry.evict("a")
+
+    def test_lease_pins_for_the_duration(self, manifest):
+        registry = KeyRegistry(manifest)
+        with registry.lease("a") as backend:
+            assert registry.pin_count("a") == 1
+            assert backend is registry.backend_for("a")
+            with pytest.raises(RuntimeError):
+                registry.evict("a")
+        assert registry.pin_count("a") == 0
+        assert registry.evict("a")
+
+    def test_pin_unknown_client_and_double_unpin(self, manifest):
+        registry = KeyRegistry(manifest)
+        with pytest.raises(KeyError):
+            registry.pin("ghost")
+        registry.backend_for("a")
+        registry.pin("a")
+        registry.unpin("a")
+        with pytest.raises(RuntimeError):
+            registry.unpin("a")
+
+
+class TestProcessMode:
+    def test_process_pool_smoke(self, artifact_path):
+        """Two real multiprocessing workers over the same mapped file,
+        bit-exact against the inline pool under the same config."""
+        config = _pool_config(workers=2, mode="process", max_queue_depth=16)
+        images = _images(6)
+        clients = [f"client-{i}" for i in range(len(images))]
+        with serve.open(artifact_path, config) as server:
+            for client, image in zip(clients, images):
+                server.submit(image, client_id=client)
+            process_results = {r.client_id: r for r in server.drain()}
+            process_stats = server.stats()
+        assert process_stats.in_flight == 0
+        assert process_stats.requests_completed == len(images)
+        assert all(w.mmap_backed for w in process_stats.workers)
+        inline = config.with_overrides(mode="inline")
+        with serve.open(artifact_path, inline) as server:
+            for client, image in zip(clients, images):
+                server.submit(image, client_id=client)
+            inline_results = {r.client_id: r for r in server.drain()}
+        for client in clients:
+            assert np.array_equal(
+                process_results[client].output, inline_results[client].output
+            )
+            assert (
+                process_results[client].worker_id
+                == inline_results[client].worker_id
+            )
