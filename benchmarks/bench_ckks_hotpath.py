@@ -19,6 +19,7 @@ and ``HOTPATH_ALPHA=k`` to benchmark grouped digit decomposition
 (dnum = ceil((L+1)/k) with k special primes).
 """
 
+import gc
 import os
 import time
 from fractions import Fraction
@@ -494,3 +495,123 @@ def test_bsgs_matvec_hoisting(setup, record_table):
     # N=2048/L=8 (quick CI rings are smaller and noisier -> 1.2x).
     assert fused_ms < unfused_ms / (1.2 if QUICK else 1.5)
     assert unfused_ms < none_ms * 1.05
+
+
+def test_tracing_overhead(setup, record_table):
+    """Observability overhead gate on the fused BSGS matvec hot path.
+
+    Three contenders, round-robin interleaved (same drift discipline as
+    ``_time_stats_paired``): two identical runs under the default
+    NULL_TRACER — their delta bounds the *disabled* instrumentation
+    cost plus measurement noise — and one run under an enabled Tracer.
+    Recorded overheads are gated here and re-checked by
+    ``check_bench_json.py`` (CEILINGS), so the observability layer can
+    never quietly tax the hot path.
+    """
+    from repro.obs import NULL_TRACER, Tracer, get_tracer, use_tracer
+
+    backend, ct, _, _ = setup
+    params = backend.params
+    n = backend.slot_count
+    band = 16 if QUICK else 32
+    rng = np.random.default_rng(5)
+    matrix = np.zeros((n, n))
+    row_idx = np.arange(n)[:, None]
+    col_idx = (row_idx + np.arange(band)[None, :]) % n
+    matrix[row_idx, col_idx] = rng.uniform(-1, 1, (n, band))
+    packed = build_linear_packing(
+        matrix, None, VectorLayout(n, n), name="bench_trace"
+    )
+    pt_scale = Fraction(params.data_primes[backend.level_of(ct)])
+
+    # The baseline needs the disabled default; CI never runs benchmarks
+    # on the tracing-on leg, but guard against a local REPRO_TRACE=on.
+    if get_tracer() is not NULL_TRACER:
+        pytest.skip("ambient tracer installed; overhead baseline unavailable")
+
+    def run():
+        return packed.execute(backend, [ct], pt_scale, hoisting="double")
+
+    tracer = Tracer()
+
+    def run_traced():
+        tracer.reset()
+        with use_tracer(tracer):
+            return packed.execute(backend, [ct], pt_scale, hoisting="double")
+
+    # Observe-only before timing: traced and untraced are bit-identical,
+    # and the traced run actually recorded spans (the gate isn't vacuous).
+    plain_out = backend.decrypt(run()[0])
+    traced_out = backend.decrypt(run_traced()[0])
+    assert np.array_equal(plain_out, traced_out)
+    assert tracer.roots, "enabled tracer recorded nothing on the hot path"
+
+    contenders = (("baseline", run), ("disabled", run), ("enabled", run_traced))
+    times = {name: [] for name, _ in contenders}
+    # Quick-mode executes are only a few ms, so one timed sample spans
+    # several back-to-back executes to keep per-sample jitter small
+    # relative to the 2% ceiling; full-mode executes are long enough
+    # on their own.  The contender order rotates each round (whoever
+    # runs first in a round sees systematically warmer caches / fewer
+    # pending allocations) and the collector stays off while timing.
+    inner = 3 if QUICK else 1
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_idx in range(max(15, REPS)):
+            shift = round_idx % len(contenders)
+            for name, fn in contenders[shift:] + contenders[:shift]:
+                start = time.perf_counter()
+                for _ in range(inner):
+                    fn()
+                times[name].append((time.perf_counter() - start) / inner)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    med = {
+        name: float(np.median(samples)) * 1e3
+        for name, samples in times.items()
+    }
+
+    # Gate on the median of per-round ratios: each round times all three
+    # contenders back to back, so a ratio against that round's own
+    # baseline cancels slow drift (CPU frequency scaling, noisy CI
+    # neighbors), and the median discards rounds where a scheduler
+    # spike hit one contender.  Aggregate-median deltas on a loaded box
+    # swing several percent either way; the paired ratio does not.
+    def overhead_pct(contender):
+        ratios = [c / b for c, b in zip(times[contender], times["baseline"])]
+        return max(0.0, (float(np.median(ratios)) - 1.0) * 100)
+
+    disabled_pct = overhead_pct("disabled")
+    enabled_pct = overhead_pct("enabled")
+    record_table(
+        "ckks_hotpath_tracing_overhead",
+        f"Tracing overhead on the fused BSGS matvec (N={RING_DEGREE}, "
+        f"band {band}, {'quick' if QUICK else 'full'} mode): NULL_TRACER "
+        "A/A vs an enabled Tracer",
+        ("mode", "median (ms)", "overhead"),
+        [
+            ("baseline (disabled)", f"{med['baseline']:.2f}", "-"),
+            ("disabled (A/A)", f"{med['disabled']:.2f}", f"{disabled_pct:.2f}%"),
+            ("enabled", f"{med['enabled']:.2f}", f"{enabled_pct:.2f}%"),
+        ],
+    )
+    merge_json(
+        "tracing_overhead",
+        {
+            "baseline_median_ms": round(med["baseline"], 4),
+            "disabled_median_ms": round(med["disabled"], 4),
+            "enabled_median_ms": round(med["enabled"], 4),
+            "disabled_overhead_pct": round(disabled_pct, 2),
+            "enabled_overhead_pct": round(enabled_pct, 2),
+        },
+    )
+    # The acceptance ceilings (re-enforced by check_bench_json.py):
+    # disabled tracing is free — gated at 2% where runs are long enough
+    # to resolve it (full mode; the quick ring's ~6ms runs put the A/A
+    # noise floor itself near 2%, hence the headroom) — and enabled
+    # tracing stays cheap.
+    assert disabled_pct <= (5.0 if QUICK else 2.0)
+    assert enabled_pct <= (15.0 if QUICK else 10.0)

@@ -89,6 +89,20 @@ FLOORS = {
     },
 }
 
+# section -> metric -> (quick_ceiling, full_ceiling).  The mirror image
+# of FLOORS for metrics that must stay *small*: the observability layer
+# records its hot-path overhead percentages, and the gate fails if they
+# creep above the ceiling.  A value of exactly the ceiling passes.
+CEILINGS = {
+    # Disabled tracing is gated at 2% where runs are long enough to
+    # resolve it; the quick ring's few-ms runs put the A/A noise floor
+    # itself near 2%, hence the quick headroom.
+    "tracing_overhead": {
+        "disabled_overhead_pct": (5.0, 2.0),
+        "enabled_overhead_pct": (15.0, 10.0),
+    },
+}
+
 # Which gated sections each benchmark JSON is responsible for carrying
 # (in at least one config) — so the gate cannot be green by running
 # nothing, without demanding serving medians of the hot-path file.
@@ -100,6 +114,7 @@ REQUIRED_SECTIONS = {
         "bootstrap_transforms",
         "bootstrap_e2e",
         "graph_opt",
+        "tracing_overhead",
     ),
     "BENCH_serving.json": ("serving", "serving_pool"),
 }
@@ -118,6 +133,13 @@ SECTION_MEDIANS = {
     "serving": ("single_request_median_ms", "batched_request_median_ms"),
     "serving_pool": ("p50_ms", "p99_ms"),
     "graph_opt": ("optimized_median_ms", "unoptimized_median_ms"),
+    # Overhead *percentages* are deliberately absent: a clean run clips
+    # them to 0.0, which is a pass, not a schema violation.
+    "tracing_overhead": (
+        "baseline_median_ms",
+        "disabled_median_ms",
+        "enabled_median_ms",
+    ),
 }
 
 
@@ -230,7 +252,30 @@ def check(path):
                         f"PERF REGRESSION {config_key}/{section}.{dotted}: "
                         f"{value}x is below the {floor}x floor"
                     )
-    required = REQUIRED_SECTIONS.get(os.path.basename(path), tuple(FLOORS))
+        for section, metrics in CEILINGS.items():
+            section_data = config.get(section)
+            if section_data is None:
+                continue
+            seen_sections.add(section)
+            _check_medians(errors, config_key, section, section_data)
+            for dotted, (quick_ceiling, full_ceiling) in metrics.items():
+                ceiling = quick_ceiling if quick else full_ceiling
+                value = _lookup(section_data, dotted)
+                if value is None:
+                    errors.append(
+                        f"{config_key}/{section}.{dotted}: missing "
+                        f"(ceiling {ceiling}%)"
+                    )
+                elif not isinstance(value, (int, float)) or not math.isfinite(value):
+                    errors.append(
+                        f"{config_key}/{section}.{dotted}: not a number: {value!r}"
+                    )
+                elif value > ceiling:
+                    errors.append(
+                        f"PERF REGRESSION {config_key}/{section}.{dotted}: "
+                        f"{value}% is above the {ceiling}% ceiling"
+                    )
+    required = REQUIRED_SECTIONS.get(os.path.basename(path), tuple(FLOORS) + tuple(CEILINGS))
     for section in required:
         if section not in seen_sections:
             errors.append(

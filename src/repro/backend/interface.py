@@ -34,6 +34,23 @@ class FheBackend(abc.ABC):
         self.params = params
         self.costs = cost_model or CostModel(params)
         self.ledger = OpLedger()
+        #: optional :class:`repro.obs.NoiseMonitor`; when set, backends
+        #: record level/scale drift at rescale / mod-down / bootstrap
+        #: boundaries (observe-only — reads metadata, never ciphertexts).
+        self.noise_monitor = None
+
+    def _note_noise(self, op: str, before, after) -> None:
+        """Record one modulus-chain boundary crossing on the attached
+        noise monitor (no-op when none is attached)."""
+        monitor = self.noise_monitor
+        if monitor is not None:
+            monitor.record(
+                op,
+                self.level_of(before),
+                self.level_of(after),
+                self.scale_of(before),
+                self.scale_of(after),
+            )
 
     # -- capacity ---------------------------------------------------------
     @property

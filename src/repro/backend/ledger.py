@@ -91,15 +91,9 @@ class OpLedger:
         )
 
     def snapshot(self) -> Dict[str, float]:
-        from repro.kernels import active_backend
+        from repro.obs.summary import summarize_ledger
 
-        out: Dict[str, float] = {op: self.counts[op] for op in self.TRACKED_OPS}
-        out["seconds"] = self.seconds
-        out["rotations"] = self.rotations
-        # Which kernel backend produced these charges (numpy / threaded /
-        # numba) — bit-exact across backends, but runs must record it.
-        out["kernel_backend"] = active_backend()
-        return out
+        return summarize_ledger(self)
 
     def merge(self, other: "OpLedger") -> None:
         """Fold another ledger's charges into this one.
@@ -181,9 +175,6 @@ class LatencyHistogram:
         return self.base * (2.0 ** len(self.buckets))
 
     def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean_seconds": self.mean,
-            "p50_seconds": self.quantile(0.5),
-            "p99_seconds": self.quantile(0.99),
-        }
+        from repro.obs.summary import summarize_histogram
+
+        return summarize_histogram(self)

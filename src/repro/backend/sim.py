@@ -187,14 +187,19 @@ class SimBackend(FheBackend):
         added = self._rescale_noise
         values = a.values + self._noise(self.slot_count, added)
         std = float(np.hypot(a.noise_std, added))
-        return SimCiphertext(values, a.level - 1, new_scale, std)
+        out = SimCiphertext(values, a.level - 1, new_scale, std)
+        self._note_noise("rescale", a, out)
+        return out
 
     def level_down(self, a: SimCiphertext, target_level: int) -> SimCiphertext:
         if target_level > a.level:
             raise ValueError("cannot raise level without bootstrapping")
         if target_level < 0:
             raise ValueError("negative level")
-        return SimCiphertext(a.values.copy(), target_level, a.scale, a.noise_std)
+        out = SimCiphertext(a.values.copy(), target_level, a.scale, a.noise_std)
+        if target_level != a.level:
+            self._note_noise("mod_down", a, out)
+        return out
 
     def rotate(self, a: SimCiphertext, steps: int) -> SimCiphertext:
         steps %= self.slot_count
@@ -319,9 +324,11 @@ class SimBackend(FheBackend):
         self.ledger.charge("bootstrap", self.costs.bootstrap())
         std = 2.0 ** (-self.boot_precision_bits)
         values = a.values + self._noise(self.slot_count, std)
-        return SimCiphertext(
+        out = SimCiphertext(
             values,
             self.params.effective_level,
             Fraction(self.params.scale),
             float(np.hypot(a.noise_std, std)),
         )
+        self._note_noise("bootstrap", a, out)
+        return out

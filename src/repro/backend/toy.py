@@ -83,10 +83,15 @@ class ToyBackend(FheBackend):
 
     def rescale(self, a: Ciphertext) -> Ciphertext:
         self.ledger.charge("rescale", self.costs.rescale(a.level))
-        return self.context.rescale(a)
+        out = self.context.rescale(a)
+        self._note_noise("rescale", a, out)
+        return out
 
     def level_down(self, a: Ciphertext, target_level: int) -> Ciphertext:
-        return self.context.level_down(a, target_level)
+        out = self.context.level_down(a, target_level)
+        if target_level != a.level:
+            self._note_noise("mod_down", a, out)
+        return out
 
     def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
         steps %= self.slot_count
@@ -284,6 +289,9 @@ class ToyBackend(FheBackend):
 
     def bootstrap(self, a: Ciphertext) -> Ciphertext:
         if self._bootstrapper is not None:
-            return self._bootstrapper.bootstrap(a)
-        self.ledger.charge("bootstrap", self.costs.bootstrap())
-        return self.context.bootstrap(a)
+            out = self._bootstrapper.bootstrap(a)
+        else:
+            self.ledger.charge("bootstrap", self.costs.bootstrap())
+            out = self.context.bootstrap(a)
+        self._note_noise("bootstrap", a, out)
+        return out

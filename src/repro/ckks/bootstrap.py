@@ -569,22 +569,42 @@ class CkksBootstrapper:
         The ledger's ``bootstrap`` count still advances (the component
         rotations/multiplications charge their own modeled latency).
         """
+        from repro.obs.tracing import get_tracer
+
         backend = self.backend
         if ct.scale != Fraction(self.params.scale):
             raise ValueError(
                 f"bootstrap input must be at scale Delta, got {ct.scale}"
             )
         self.backend.ledger.charge("bootstrap", 0.0)
-        if ct.level > 0:
-            ct = backend.level_down(ct, 0)
-        declared = Fraction(self.q0) * self.window
-        raised = backend.context.mod_raise(ct, declared)
-        raised = self._prescale(raised)
-        lo, hi = self.coeff_to_slot(raised)
-        lo = self.eval_mod(lo)
-        hi = self.eval_mod(hi)
-        fresh = self.slot_to_coeff(lo, hi)
-        landing = backend.level_of(fresh)
+        tracer = get_tracer()
+        with tracer.span(
+            "bootstrap",
+            category="bootstrap",
+            ledger=backend.ledger,
+            level_in=ct.level,
+        ) as boot_span:
+            if ct.level > 0:
+                ct = backend.level_down(ct, 0)
+            declared = Fraction(self.q0) * self.window
+            with tracer.span("mod_raise", category="bootstrap"):
+                raised = backend.context.mod_raise(ct, declared)
+                raised = self._prescale(raised)
+            with tracer.span(
+                "coeff_to_slot", category="bootstrap", ledger=backend.ledger
+            ):
+                lo, hi = self.coeff_to_slot(raised)
+            with tracer.span(
+                "eval_mod", category="bootstrap", ledger=backend.ledger
+            ):
+                lo = self.eval_mod(lo)
+                hi = self.eval_mod(hi)
+            with tracer.span(
+                "slot_to_coeff", category="bootstrap", ledger=backend.ledger
+            ):
+                fresh = self.slot_to_coeff(lo, hi)
+            landing = backend.level_of(fresh)
+            boot_span.set(level_out=self.params.effective_level, landing=landing)
         if self._evalmod_depth is None:
             self._evalmod_depth = self.params.max_level - 3 - landing
         if landing < self.params.effective_level:

@@ -37,6 +37,7 @@ from repro.ckks.galois import galois_offset_key
 from repro.ckks.keys import KeyChain, SwitchingKey
 from repro.ckks.params import CkksParameters, RingType
 from repro.ntt import galois_eval_permutation
+from repro.obs.tracing import get_tracer
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import RnsPolynomial
 from repro.utils.rng import SeededRng
@@ -808,6 +809,20 @@ class CkksContext:
         nonzero = sorted(unique - {0}, key=galois_offset_key)
         if not nonzero:
             return outputs
+        # Observe-only span (one per hoisted key switch, not per offset);
+        # the null-tracer context manager costs two trivial calls, far
+        # below the NTT work it brackets (gated by tracing_overhead).
+        with get_tracer().span(
+            "keyswitch.hoisted",
+            category="keyswitch",
+            level=ct.level,
+            num_offsets=len(nonzero),
+        ):
+            return self._rotate_hoisted_raw_traced(
+                ct, nonzero, outputs, _max_chunk
+            )
+
+    def _rotate_hoisted_raw_traced(self, ct, nonzero, outputs, _max_chunk):
         digits = self._ks_decompose(ct.c1, ct.level)
         n = self.params.ring_degree
         level = ct.level

@@ -169,6 +169,39 @@ class OrionCompiler:
         calibration_batches: Optional[List[np.ndarray]] = None,
         entry_level: Optional[int] = None,
     ) -> CompiledNetwork:
+        from repro.obs.tracing import get_tracer
+
+        obs = get_tracer()
+        if not obs.enabled:
+            return self._compile(
+                net, input_shape, calibration_batches, entry_level
+            )
+        with obs.span(
+            "compile",
+            category="compile",
+            mode=self.mode,
+            optimize=self.optimize,
+            ring_degree=self.params.ring_degree,
+        ) as span:
+            compiled = self._compile(
+                net, input_shape, calibration_batches, entry_level
+            )
+            span.set(
+                rotations=compiled.total_rotations,
+                bootstraps=compiled.num_bootstraps,
+                depth=compiled.multiplicative_depth,
+            )
+            return compiled
+
+    def _compile(
+        self,
+        net,
+        input_shape: Tuple[int, int, int],
+        calibration_batches: Optional[List[np.ndarray]] = None,
+        entry_level: Optional[int] = None,
+    ) -> CompiledNetwork:
+        from repro.obs.tracing import get_tracer
+
         OrionCompiler.invocations += 1
         start = time.perf_counter()
         net.eval()
@@ -190,19 +223,25 @@ class OrionCompiler:
                 input_shape=tuple(input_shape),
                 folded=folded,
             )
-            graph_opt_report = optimize_graph(graph, ctx)
+            with get_tracer().span("graph_opt", category="compile"):
+                graph_opt_report = optimize_graph(graph, ctx)
             graph_opt_seconds = time.perf_counter() - opt_start
 
         tree = build_region_tree(graph)
         build = _ProgramBuilder(self, graph, folded, ranges, input_shape)
         build.walk(tree)
 
-        placement = solve_placement(
-            build.chain,
-            l_eff=self.params.effective_level,
-            boot_cost=self.costs.bootstrap(),
-            entry_level=entry_level,
-        )
+        with get_tracer().span("placement", category="compile") as place_span:
+            placement = solve_placement(
+                build.chain,
+                l_eff=self.params.effective_level,
+                boot_cost=self.costs.bootstrap(),
+                entry_level=entry_level,
+            )
+            place_span.set(
+                entry_level=placement.entry_level,
+                solve_seconds=placement.solve_seconds,
+            )
         policy = placement.policy_map()
         level_by_uid: Dict[int, int] = {}
         for instr in build.instructions:

@@ -16,6 +16,7 @@ on Delta, whatever s_in the preceding activation produced.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Dict, List
@@ -79,6 +80,9 @@ class ExecutionState:
 class Instruction:
     """Base instruction: placement metadata common to all ops."""
 
+    # Span/phase category (no annotation: class attribute, not a field).
+    span_category = "op"
+
     name: str
     out_uid: int
     exec_level: int
@@ -98,6 +102,8 @@ class Instruction:
 class LinearInstr(Instruction):
     """A packed linear layer (conv / fc / pool / folded bn)."""
 
+    span_category = "linear"
+
     in_uid: int = 0
     packed: PackedMatVec = None
 
@@ -109,6 +115,22 @@ class LinearInstr(Instruction):
             q_exec = backend.params.data_primes[self.exec_level]
             pt_scale = Fraction(q_exec) * Fraction(backend.params.scale) / in_scale
             state.set(self.out_uid, self.packed.execute(backend, cts, pt_scale))
+
+
+def scale_log2(scale) -> float:
+    """log2 of a ciphertext scale, exact-arithmetic safe.
+
+    Scales are Fractions whose numerator/denominator can exceed float
+    range; going through ``math.log2`` on the integer parts avoids the
+    overflow a plain ``float(scale)`` would hit.
+    """
+    try:
+        frac = Fraction(scale)
+        if frac <= 0:
+            return float("-inf")
+        return math.log2(frac.numerator) - math.log2(frac.denominator)
+    except (TypeError, ValueError, OverflowError):
+        return 0.0
 
 
 def normalize_scale(backend, ct, target_scale: Fraction):
@@ -141,6 +163,8 @@ class PolyInstr(Instruction):
     the join level's prime so the x * sign product rescales to Delta).
     """
 
+    span_category = "act"
+
     in_uid: int = 0
     poly: ChebyshevPoly = None
     target_kind: str = "delta"
@@ -162,6 +186,8 @@ class PolyInstr(Instruction):
 class SquareInstr(Instruction):
     """x^2 by direct HMult (depth 1; used by the MNIST networks)."""
 
+    span_category = "act"
+
     in_uid: int = 0
 
     def execute(self, state: ExecutionState) -> None:
@@ -181,6 +207,8 @@ class MultJoinInstr(Instruction):
     (restoring the between-layer invariant); the multiply itself spends
     the second level.
     """
+
+    span_category = "act"
 
     x_uid: int = 0
     sign_uid: int = 0
@@ -203,6 +231,8 @@ class MultJoinInstr(Instruction):
 class AddJoinInstr(Instruction):
     """Residual addition; both inputs sit at scale Delta by invariant."""
 
+    span_category = "join"
+
     a_uid: int = 0
     b_uid: int = 0
 
@@ -217,6 +247,8 @@ class AddJoinInstr(Instruction):
 @dataclass
 class AliasInstr(Instruction):
     """Free layout change (flatten / folded batchnorm placeholder)."""
+
+    span_category = "move"
 
     in_uid: int = 0
 
@@ -236,6 +268,8 @@ class SliceInstr(Instruction):
     entries, so sharing is safe).
     """
 
+    span_category = "move"
+
     in_uid: int = 0
     start: int = 0
     stop: int = 0
@@ -252,6 +286,8 @@ class RotateInstr(Instruction):
     is a no-op (the graph optimizer cancels those away, but the
     reference un-optimized path must still execute them safely).
     """
+
+    span_category = "rotate"
 
     in_uid: int = 0
     steps: int = 0
@@ -307,10 +343,42 @@ class FheProgram:
     def execute(self, state: ExecutionState, input_cts: List) -> List:
         """Run all instructions over pre-encrypted inputs; returns the
         output register (the state may be a reused, reset worker state)."""
+        from repro.obs.tracing import get_tracer
+
         state.set(self.input_uid, input_cts)
-        for instr in self.instructions:
-            instr.execute(state)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            # The untraced fast path stays a plain loop: one attribute
+            # read above is the entire cost of having tracing available.
+            for instr in self.instructions:
+                instr.execute(state)
+            return state.get(self.output_uid)
+        self._execute_traced(state, tracer)
         return state.get(self.output_uid)
+
+    def _execute_traced(self, state: ExecutionState, tracer) -> None:
+        """Per-instruction spans: op-count deltas from the ledger, plus
+        ciphertext level/scale at exit (observe-only)."""
+        backend = state.backend
+        ledger = backend.ledger
+        for instr in self.instructions:
+            category = instr.span_category
+            with tracer.span(
+                f"{category}/{instr.name}",
+                category=category,
+                ledger=ledger,
+                exec_level=instr.exec_level,
+                boots_before=instr.boots_before,
+            ) as span:
+                instr.execute(state)
+                out = state.registers.get(instr.out_uid)
+                if out:
+                    ct = out[0]
+                    span.set(
+                        level_out=backend.level_of(ct),
+                        scale_log2_out=scale_log2(backend.scale_of(ct)),
+                        num_cts=len(out),
+                    )
 
     def decrypt_output(self, backend, output_cts: List) -> np.ndarray:
         out_vecs = [backend.decrypt(ct) for ct in output_cts]

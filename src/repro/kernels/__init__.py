@@ -11,6 +11,8 @@ from repro.kernels.dispatch import (
     KernelDispatchError,
     KernelRegistry,
     active_backend,
+    drain_dispatch_counts,
+    enable_dispatch_counts,
     get,
     numba_available,
     registry,
@@ -24,6 +26,8 @@ __all__ = [
     "KernelDispatchError",
     "KernelRegistry",
     "active_backend",
+    "drain_dispatch_counts",
+    "enable_dispatch_counts",
     "get",
     "lazy_reduction_chunk",
     "numba_available",

@@ -71,6 +71,11 @@ class KernelRegistry:
         # (env value at resolve time, resolved backend) — invalidated
         # whenever the env var changes or select() is called.
         self._resolved: Optional[Tuple[Optional[str], str]] = None
+        # Per-kernel dispatch counts, opt-in (observability): counting
+        # on every get() would put a dict update on the hottest call
+        # site in the repo, so it stays off unless telemetry asks.
+        self.count_dispatch = False
+        self.dispatch_counts: Dict[str, int] = {}
 
     # -- registration ------------------------------------------------------
     def register(self, kernel: str, backend: str, fn: Optional[Callable] = None):
@@ -167,6 +172,10 @@ class KernelRegistry:
         impls = self._impls.get(kernel)
         if impls is None:
             raise KernelDispatchError(f"unknown kernel {kernel!r}")
+        if self.count_dispatch:
+            self.dispatch_counts[kernel] = (
+                self.dispatch_counts.get(kernel, 0) + 1
+            )
         fn = impls.get(self.active)
         if fn is None:
             fn = impls.get("numpy")
@@ -175,6 +184,16 @@ class KernelRegistry:
                     f"kernel {kernel!r} has no numpy reference implementation"
                 )
         return fn
+
+    # -- dispatch counting (observability, opt-in) -------------------------
+    def enable_dispatch_counts(self, enabled: bool = True) -> None:
+        self.count_dispatch = enabled
+
+    def drain_dispatch_counts(self) -> Dict[str, int]:
+        """Return and clear the per-kernel dispatch counts."""
+        counts = self.dispatch_counts
+        self.dispatch_counts = {}
+        return counts
 
 
 #: The process-global registry every hot path dispatches through.
@@ -194,3 +213,13 @@ def active_backend() -> str:
 def select_backend(backend: Optional[str]) -> str:
     """Override the globally active backend (``None`` restores auto)."""
     return registry.select(backend)
+
+
+def enable_dispatch_counts(enabled: bool = True) -> None:
+    """Toggle per-kernel dispatch counting on the global registry."""
+    registry.enable_dispatch_counts(enabled)
+
+
+def drain_dispatch_counts() -> Dict[str, int]:
+    """Return and clear the global registry's dispatch counts."""
+    return registry.drain_dispatch_counts()

@@ -57,6 +57,7 @@ from repro.serve.scheduler import SlotBatchingScheduler as _SlotBatchingSchedule
 from repro.serve.stats import (
     STATS_SCHEMA_VERSION,
     HistogramStats,
+    NoiseStats,
     ServerStats,
     StatsSchemaError,
     WorkerStats,
@@ -118,6 +119,7 @@ __all__ = [
     "ServerStats",
     "WorkerStats",
     "HistogramStats",
+    "NoiseStats",
     "StatsSchemaError",
     "STATS_SCHEMA_VERSION",
     # artifacts & keys

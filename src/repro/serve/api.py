@@ -26,6 +26,8 @@ import os
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import write_chrome_trace
 from repro.serve.artifact import ServingArtifact
 from repro.serve.pool import (
     ArtifactSpec,
@@ -71,6 +73,12 @@ class ServerConfig:
             tables at worker start.
         backend_factory: ``(params, seed) -> FheBackend`` override
             (defaults to the exact toy backend for toy-sized primes).
+        tracing: give every worker a :class:`repro.obs.Tracer` so each
+            served batch produces a span tree; export the result with
+            :meth:`Server.trace` / :meth:`Server.export_chrome_trace`.
+            Observe-only: outputs are bit-identical either way.
+        trace_sample_rate: fraction of root spans recorded when tracing
+            (systematic sampling, in ``(0, 1]``).
     """
 
     workers: int = 1
@@ -86,6 +94,8 @@ class ServerConfig:
     kernel_backend: Optional[str] = None
     preload: bool = True
     backend_factory: Optional[Callable] = None
+    tracing: bool = False
+    trace_sample_rate: float = 1.0
 
     def __post_init__(self):
         if self.workers < 1:
@@ -122,6 +132,11 @@ class ServerConfig:
             raise ValueError(
                 f"ServerConfig.kernel_backend must be one of "
                 f"{_KERNEL_BACKENDS}, got {self.kernel_backend!r}"
+            )
+        if not 0.0 < self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                "ServerConfig.trace_sample_rate must be in (0, 1], got "
+                f"{self.trace_sample_rate!r}"
             )
 
     def with_overrides(self, **changes) -> "ServerConfig":
@@ -200,6 +215,8 @@ class Server:
             batch_window_seconds=config.batch_window_seconds,
             preload=config.preload,
             backend_factory=config.backend_factory,
+            tracing=config.tracing,
+            trace_sample_rate=config.trace_sample_rate,
         )
         self._dispatcher = Dispatcher(
             pool,
@@ -207,6 +224,10 @@ class Server:
             admission_budget_seconds=config.admission_budget_seconds,
             routing_seed=config.routing_seed,
         )
+        # Accumulated per-worker trace tracks (worker_id -> track dict);
+        # fed by _pump_telemetry, exported by trace().
+        self._trace_tracks: Dict[int, Dict] = {}
+        self._metrics_payloads: Dict[int, Dict] = {}
 
     # -- request flow --------------------------------------------------------
     def submit(
@@ -282,6 +303,79 @@ class Server:
                 worker.stats() for worker in dispatcher.pool.workers
             ),
         )
+
+    def _pump_telemetry(self) -> None:
+        """Pull every worker's telemetry bundle into the server-side
+        accumulators (trace spans append; metrics payloads replace)."""
+        for worker in self._dispatcher.pool.workers:
+            bundle = worker.telemetry()
+            if bundle["metrics"] is not None:
+                self._metrics_payloads[worker.worker_id] = bundle["metrics"]
+            track = self._trace_tracks.get(worker.worker_id)
+            if track is None:
+                track = {
+                    "tid": worker.worker_id,
+                    "name": f"worker-{worker.worker_id}",
+                    "spans": [],
+                    "clock_offset": 0.0,
+                    "dropped_roots": 0,
+                }
+                self._trace_tracks[worker.worker_id] = track
+            track["spans"].extend(bundle["trace"])
+            track["clock_offset"] = bundle["clock_offset"]
+            track["dropped_roots"] = bundle["dropped_roots"]
+
+    def metrics(self) -> MetricsRegistry:
+        """One aggregated :class:`repro.obs.MetricsRegistry` for the
+        deployment: every worker's counters/gauges/histograms (fetched
+        over the pipe protocol in fork mode) plus the dispatcher's
+        admission-conservation counters."""
+        self._pump_telemetry()
+        registry = MetricsRegistry()
+        for worker_id in sorted(self._metrics_payloads):
+            registry.merge_payload(self._metrics_payloads[worker_id])
+        dispatcher = self._dispatcher
+        for outcome, count in (
+            ("submitted", dispatcher.requests_submitted),
+            ("admitted", dispatcher.requests_admitted),
+            ("rejected", dispatcher.requests_rejected),
+        ):
+            registry.counter(
+                "repro_admission_requests_total",
+                count,
+                help="Dispatcher admission outcomes.",
+                outcome=outcome,
+            )
+        registry.counter(
+            "repro_requests_completed_total",
+            dispatcher.requests_completed,
+            help="Requests whose results were delivered.",
+        )
+        registry.gauge(
+            "repro_in_flight_requests",
+            dispatcher.in_flight,
+            help="Admitted requests not yet completed.",
+        )
+        return registry
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of :meth:`metrics`."""
+        return self.metrics().to_prometheus_text()
+
+    def trace(self) -> List[Dict]:
+        """Per-worker span tracks accumulated so far (tracing pools
+        only; empty tracks otherwise).  Feed to
+        :func:`repro.obs.chrome_trace` or :meth:`export_chrome_trace`."""
+        self._pump_telemetry()
+        return [
+            self._trace_tracks[worker_id]
+            for worker_id in sorted(self._trace_tracks)
+        ]
+
+    def export_chrome_trace(self, path: str) -> str:
+        """Write the pool's Chrome ``trace_event`` JSON (Perfetto-
+        loadable, one thread lane per worker shard); returns ``path``."""
+        return write_chrome_trace(path, self.trace())
 
     @property
     def workers(self) -> int:

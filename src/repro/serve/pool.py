@@ -45,6 +45,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.serve.artifact import ServingArtifact
 from repro.serve.keys import default_backend_factory
 from repro.serve.mmapio import ArtifactMap, is_mmap_backed
@@ -169,6 +172,7 @@ def _build_servers(
     preload: bool,
     backend_factory: Optional[Callable],
     shared_artifacts: Optional[Dict[str, ServingArtifact]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[Dict[str, InferenceServer], Dict[str, WorkerProfile]]:
     """Load every hosted artifact (mmap when given a path) and stand up
     one InferenceServer per artifact for this worker."""
@@ -196,6 +200,7 @@ def _build_servers(
             max_batch=max_batch,
             max_wait_seconds=batch_window_seconds,
             preload=preload,
+            tracer=tracer,
         )
         if mmapped:
             verify_mmap_tables(server, spec.path)
@@ -224,8 +229,24 @@ class InlineWorker:
         **build_opts,
     ):
         self.worker_id = worker_id
+        tracing = build_opts.pop("tracing", False)
+        sample_rate = build_opts.pop("trace_sample_rate", 1.0)
+        #: one tracer per worker shard — its spans become this worker's
+        #: track in the Chrome-trace export.
+        self.tracer = Tracer(sample_rate=sample_rate) if tracing else None
+        if tracing:
+            # Kernel dispatch counting is opt-in (a dict increment on the
+            # hot path); only a tracing pool pays for it.
+            kernels.enable_dispatch_counts()
+        # Cumulative process-wide kernel dispatch counts accumulated from
+        # the registry's destructive drain (see metrics_registry).
+        self._dispatch_totals: Dict[str, int] = {}
         self.servers, self.profiles = _build_servers(
-            worker_id, specs, shared_artifacts=shared_artifacts, **build_opts
+            worker_id,
+            specs,
+            shared_artifacts=shared_artifacts,
+            tracer=self.tracer,
+            **build_opts,
         )
         # Inner (per-server) ticket -> the dispatcher's global ticket.
         self._tickets: Dict[Tuple[str, int], int] = {}
@@ -305,6 +326,119 @@ class InlineWorker:
             combined = stats if combined is None else combined.merged_with(stats)
         return combined
 
+    def metrics_registry(self) -> MetricsRegistry:
+        """This worker's counters/gauges/histograms as a fresh
+        :class:`repro.obs.MetricsRegistry` snapshot (naming scheme:
+        docs/observability.md)."""
+        registry = MetricsRegistry()
+        worker = str(self.worker_id)
+        for artifact_id, server in self.servers.items():
+            labels = {"worker": worker, "artifact": artifact_id}
+            registry.counter(
+                "repro_serve_requests_total",
+                server.requests_served,
+                help="Requests served (slot-batched or single).",
+                **labels,
+            )
+            registry.counter(
+                "repro_serve_batches_total",
+                server.batches_run,
+                help="Batched program executions run.",
+                **labels,
+            )
+            registry.counter(
+                "repro_modeled_seconds_total",
+                server.ledger.seconds,
+                help="Cost-model seconds charged by the op ledger.",
+                **labels,
+            )
+            for op, count in sorted(server.ledger.counts.items()):
+                registry.counter(
+                    "repro_fhe_ops_total",
+                    count,
+                    help="FHE primitive operations executed, by op.",
+                    op=op,
+                    **labels,
+                )
+            noise = server.noise.stats()
+            for op, count in (
+                ("rescale", noise["rescales"]),
+                ("mod_down", noise["mod_downs"]),
+                ("bootstrap", noise["bootstraps"]),
+            ):
+                registry.counter(
+                    "repro_noise_boundary_total",
+                    count,
+                    help="Modulus-chain boundary events, by boundary op.",
+                    op=op,
+                    **labels,
+                )
+            registry.gauge(
+                "repro_serve_queue_depth",
+                len(server.scheduler),
+                help="Requests waiting in the slot-batching queue.",
+                **labels,
+            )
+            if noise["min_level"] is not None:
+                registry.gauge(
+                    "repro_noise_min_level",
+                    noise["min_level"],
+                    help="Lowest ciphertext level any boundary op reached.",
+                    **labels,
+                )
+            registry.gauge(
+                "repro_noise_max_scale_drift_log2",
+                noise["max_scale_drift_log2"],
+                help="Max |log2(scale/Delta)| seen after a boundary op.",
+                **labels,
+            )
+            registry.record_histogram(
+                "repro_request_latency_seconds",
+                server.request_latency,
+                help="Wall-clock latency per served request.",
+                **labels,
+            )
+            for phase, histogram in sorted(server.op_histograms.items()):
+                registry.record_histogram(
+                    "repro_phase_modeled_seconds",
+                    histogram,
+                    help="Modeled seconds per batch, by program phase.",
+                    phase=phase,
+                    **labels,
+                )
+        # Dispatch counts are process-global (the kernel registry is a
+        # module singleton), so this metric carries no worker label:
+        # whichever worker drains first claims the counts, and summing
+        # across workers always yields the true process total.
+        for kernel, count in kernels.drain_dispatch_counts().items():
+            self._dispatch_totals[kernel] = (
+                self._dispatch_totals.get(kernel, 0) + count
+            )
+        for kernel, count in sorted(self._dispatch_totals.items()):
+            registry.counter(
+                "repro_kernel_dispatch_total",
+                count,
+                help="Kernel registry dispatches (process-wide).",
+                kernel=kernel,
+            )
+        return registry
+
+    def telemetry(self) -> Dict:
+        """One plain-JSON bundle of everything observable about this
+        worker: stats payload, metrics payload, and the trace-span
+        backlog.  ``trace`` has drain semantics — each completed root
+        span is returned exactly once — so callers accumulate without
+        deduplicating; this is also what makes the fork-mode flush on
+        ``drain()``/``close()`` lossless."""
+        tracer = self.tracer
+        return {
+            "stats": self.stats().to_payload(),
+            "metrics": self.metrics_registry().to_payload(),
+            "trace": tracer.drain() if tracer is not None else [],
+            "clock_offset": tracer.clock_offset if tracer is not None else 0.0,
+            "dropped_roots": tracer.dropped_roots if tracer is not None else 0,
+        }
+
     def close(self) -> None:
         pass
 
@@ -366,6 +500,8 @@ def _process_worker_main(
                 response_queue.put(
                     ("stats", worker_id, worker.stats().to_payload())
                 )
+            elif kind == "telemetry":
+                response_queue.put(("telemetry", worker_id, worker.telemetry()))
             elif kind == "warm":
                 worker.warm(message[1])
                 response_queue.put(("done", worker_id, 0))
@@ -422,6 +558,16 @@ class ProcessWorker:
         self._requests = context.Queue()
         self._responses = context.Queue()
         self._depths: Dict[str, int] = {spec.artifact_id: 0 for spec in specs}
+        # Parent-side telemetry mirror: the child's latest stats/metrics
+        # payloads plus the undelivered trace spans.  Refreshed by
+        # _fetch_telemetry — notably on drain() and close(), so the last
+        # batches before shutdown are never lost (the child's buffers
+        # would die with the fork otherwise).
+        self._cached_stats_payload: Optional[Dict] = None
+        self._cached_metrics_payload: Optional[Dict] = None
+        self._pending_trace: List[Dict] = []
+        self._clock_offset = 0.0
+        self._dropped_roots = 0
         self._process = context.Process(
             target=_process_worker_main,
             args=(
@@ -463,7 +609,12 @@ class ProcessWorker:
 
     def drain(self) -> List[ServeResult]:
         self._requests.put(("drain",))
-        return self._collect()
+        results = self._collect()
+        # Flush the child's telemetry after the final batches: without
+        # this, metrics and trace spans recorded by drain-time runs only
+        # exist in the fork and disappear at close().
+        self._fetch_telemetry()
+        return results
 
     def warm(self, batch_sizes=None) -> None:
         self._requests.put(("warm", batch_sizes))
@@ -491,16 +642,70 @@ class ProcessWorker:
         return sum(self._depths.values())
 
     def stats(self) -> WorkerStats:
+        if not self._process.is_alive():
+            # The fork is gone; answer from the last flushed snapshot
+            # (populated by drain()/close()) instead of deadlocking on a
+            # queue nobody serves.
+            if self._cached_stats_payload is None:
+                raise RuntimeError(
+                    f"worker {self.worker_id} is gone and left no stats"
+                )
+            return WorkerStats.from_payload(self._cached_stats_payload)
         self._requests.put(("stats",))
         while True:
             kind, _, payload = self._responses.get()
             if kind == "stats":
+                self._cached_stats_payload = payload
                 return WorkerStats.from_payload(payload)
             if kind == "error":
                 raise RuntimeError(f"worker {self.worker_id} died: {payload}")
 
+    def _fetch_telemetry(self) -> None:
+        """Round-trip one telemetry snapshot from the child into the
+        parent-side mirror.  Trace spans accumulate (the child drains
+        its buffer, so no span arrives twice); stats/metrics payloads
+        are cumulative and simply replace the cache."""
+        if not self._process.is_alive():
+            return
+        self._requests.put(("telemetry",))
+        while True:
+            try:
+                kind, _, payload = self._responses.get(timeout=30.0)
+            except Exception:  # pragma: no cover - child wedged/raced exit
+                return
+            if kind == "telemetry":
+                self._cached_stats_payload = payload["stats"]
+                self._cached_metrics_payload = payload["metrics"]
+                self._pending_trace.extend(payload["trace"])
+                self._clock_offset = payload["clock_offset"]
+                self._dropped_roots = payload["dropped_roots"]
+                return
+            if kind == "error":
+                raise RuntimeError(f"worker {self.worker_id} died: {payload}")
+
+    def telemetry(self) -> Dict:
+        """Same bundle as :meth:`InlineWorker.telemetry`, served from
+        the parent-side mirror (refreshed first if the child is alive).
+        Trace spans keep their drain semantics across the pipe: the
+        pending buffer is handed over exactly once."""
+        self._fetch_telemetry()
+        trace, self._pending_trace = self._pending_trace, []
+        return {
+            "stats": self._cached_stats_payload,
+            "metrics": self._cached_metrics_payload,
+            "trace": trace,
+            "clock_offset": self._clock_offset,
+            "dropped_roots": self._dropped_roots,
+        }
+
     def close(self) -> None:
         if self._process.is_alive():
+            # Final telemetry flush before the fork (and its buffers)
+            # goes away; errors here must not block shutdown.
+            try:
+                self._fetch_telemetry()
+            except RuntimeError:  # pragma: no cover - child died mid-close
+                pass
             self._requests.put(("stop",))
             self._process.join(timeout=10.0)
             if self._process.is_alive():  # pragma: no cover - stuck child

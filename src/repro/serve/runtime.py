@@ -29,6 +29,8 @@ import numpy as np
 from repro import kernels
 from repro.backend.ledger import LatencyHistogram, OpLedger
 from repro.core.program import ExecutionState
+from repro.obs.noise import NoiseMonitor
+from repro.obs.tracing import use_tracer
 from repro.serve.scheduler import Batch, SlotBatchingScheduler
 
 
@@ -75,6 +77,7 @@ class InferenceServer:
         max_batch: Optional[int] = None,
         max_wait_seconds: float = 0.05,
         preload: bool = True,
+        tracer=None,
     ):
         from repro.core.compiler import OrionCompiler
         from repro.core.placement.planner import solve_placement
@@ -104,6 +107,15 @@ class InferenceServer:
         self.op_histograms: Dict[str, LatencyHistogram] = {}
         self.requests_served = 0
         self.batches_run = 0
+        #: optional repro.obs.Tracer; when set and enabled, every batch
+        #: run produces a "serve.batch" span tree plus one
+        #: "serve.request" span per completed request.
+        self.tracer = tracer
+        # Noise telemetry is always on: level/scale drift at modulus-
+        # chain boundaries is counts-only (no events retained), cheap,
+        # and observe-only — surfaced in ServerStats schema v2.
+        self.noise = NoiseMonitor(delta_scale=backend.params.scale)
+        backend.noise_monitor = self.noise
         self.preloaded_plaintexts = (
             artifact.preload(backend) if preload else 0
         )
@@ -135,7 +147,9 @@ class InferenceServer:
         shape = self.program.input_layout.tensor_shape
         scratch = OpLedger()
         main_ledger = self.backend.ledger
+        main_monitor = self.backend.noise_monitor
         self.backend.ledger = scratch
+        self.backend.noise_monitor = None
         try:
             for size in sorted(set(batch_sizes)):
                 program = self.program.batched(size)
@@ -143,6 +157,7 @@ class InferenceServer:
                 program.run(self.backend, dummy)
         finally:
             self.backend.ledger = main_ledger
+            self.backend.noise_monitor = main_monitor
 
     # -- request intake ------------------------------------------------------
     def submit(
@@ -154,13 +169,20 @@ class InferenceServer:
     ) -> int:
         """Enqueue a request; returns its ticket."""
         request = self.scheduler.submit(client_id, image, now=now, deadline=deadline)
+        self._stamp_trace(request)
         return request.ticket
 
     def serve_now(self, image: np.ndarray, client_id: str = "anon") -> ServeResult:
         """Run one request immediately, bypassing the queue."""
         request = self.scheduler.submit(client_id, image)
+        self._stamp_trace(request)
         self.scheduler.queue.remove(request)
         return self._run_batch(Batch(requests=[request], reason="single"))[0]
+
+    def _stamp_trace(self, request) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            request.trace_enqueued = tracer.clock()
 
     # -- worker loop ---------------------------------------------------------
     def step(self, now: Optional[float] = None) -> List[ServeResult]:
@@ -190,15 +212,24 @@ class InferenceServer:
         scratch = OpLedger()
         main_ledger = self.backend.ledger
         self.backend.ledger = scratch
-        start = time.perf_counter()
-        try:
-            self.state.reset()
-            cts = program.encrypt_input(self.backend, inputs)
-            out_cts = program.execute(self.state, cts)
-            outputs = program.decrypt_output(self.backend, out_cts)
-        finally:
-            self.backend.ledger = main_ledger
-        wall = time.perf_counter() - start
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            try:
+                outputs, wall = self._run_traced(
+                    tracer, program, inputs, batch, scratch
+                )
+            finally:
+                self.backend.ledger = main_ledger
+        else:
+            start = time.perf_counter()
+            try:
+                self.state.reset()
+                cts = program.encrypt_input(self.backend, inputs)
+                out_cts = program.execute(self.state, cts)
+                outputs = program.decrypt_output(self.backend, out_cts)
+            finally:
+                self.backend.ledger = main_ledger
+            wall = time.perf_counter() - start
         self._record(scratch, wall, size)
         main_ledger.merge(scratch)
         self.ledger.merge(scratch)
@@ -219,6 +250,45 @@ class InferenceServer:
                 )
             )
         return results
+
+    def _run_traced(self, tracer, program, inputs, batch: Batch, scratch):
+        """The traced batch body: a "serve.batch" root span (bound to
+        the scratch ledger, so its op counts are exactly this batch's)
+        with encrypt / execute / decrypt children, plus one
+        "serve.request" span per request covering enqueue → complete.
+        All spans are observe-only; the computation is identical to the
+        untraced path (asserted by the bit-exactness tracing tests)."""
+        with use_tracer(tracer):
+            with tracer.span(
+                "serve.batch",
+                category="serve",
+                ledger=scratch,
+                batch_size=batch.size,
+                reason=batch.reason,
+                kernel_backend=kernels.active_backend(),
+            ):
+                start = tracer.clock()
+                self.state.reset()
+                with tracer.span("encrypt", category="serve", ledger=scratch):
+                    cts = program.encrypt_input(self.backend, inputs)
+                with tracer.span("execute", category="serve", ledger=scratch):
+                    out_cts = program.execute(self.state, cts)
+                with tracer.span("decrypt", category="serve", ledger=scratch):
+                    outputs = program.decrypt_output(self.backend, out_cts)
+                end = tracer.clock()
+        for request in batch.requests:
+            enqueued = request.trace_enqueued
+            tracer.record_span(
+                "serve.request",
+                start if enqueued is None else enqueued,
+                end,
+                category="serve",
+                client_id=request.client_id,
+                ticket=request.ticket,
+                batch_size=batch.size,
+                reason=batch.reason,
+            )
+        return outputs, end - start
 
     def _record(self, scratch: OpLedger, wall: float, size: int) -> None:
         # Every request in the batch *waited* the full run — the
@@ -251,4 +321,5 @@ class InferenceServer:
                 for op, histogram in sorted(self.op_histograms.items())
             },
             "ledger": self.ledger.snapshot(),
+            "noise": self.noise.stats(),
         }

@@ -22,11 +22,16 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-#: Version 1: the first typed schema (fleet-scale pool PR).  Bump on any
-#: field change and teach ``from_payload`` to reject what it can't read.
-STATS_SCHEMA_VERSION = 1
+from repro.obs.summary import merge_histogram_summaries, summarize_histogram
+
+#: Version 2: adds per-worker noise-budget telemetry (``WorkerStats.
+#: noise`` — rescale/mod-down/bootstrap boundary counts, minimum level
+#: touched, max log2 scale drift).  Version 1 payloads (no noise block)
+#: are rejected loudly by ``ServerStats.from_payload``; see
+#: docs/observability.md for the migration note.
+STATS_SCHEMA_VERSION = 2
 
 
 class StatsSchemaError(ValueError):
@@ -35,7 +40,13 @@ class StatsSchemaError(ValueError):
 
 @dataclass(frozen=True)
 class HistogramStats:
-    """Summary of one :class:`repro.backend.ledger.LatencyHistogram`."""
+    """Summary of one :class:`repro.backend.ledger.LatencyHistogram`.
+
+    Produced by — and merged with — the shared summarizer in
+    :mod:`repro.obs.summary`, so this class and ``LatencyHistogram.
+    snapshot()`` can never disagree on the summary shape or the merge
+    arithmetic.
+    """
 
     count: int
     mean_seconds: float
@@ -44,11 +55,13 @@ class HistogramStats:
 
     @classmethod
     def from_histogram(cls, histogram) -> "HistogramStats":
-        return cls(
-            count=histogram.count,
-            mean_seconds=histogram.mean,
-            p50_seconds=histogram.quantile(0.5),
-            p99_seconds=histogram.quantile(0.99),
+        return cls(**summarize_histogram(histogram))
+
+    def merged_with(self, other: "HistogramStats") -> "HistogramStats":
+        """Count-weighted mean, max percentiles (the only merge possible
+        once the underlying buckets are gone)."""
+        return HistogramStats(
+            **merge_histogram_summaries(self.to_payload(), other.to_payload())
         )
 
     def to_payload(self) -> Dict:
@@ -66,6 +79,63 @@ class HistogramStats:
             mean_seconds=float(payload["mean_seconds"]),
             p50_seconds=float(payload["p50_seconds"]),
             p99_seconds=float(payload["p99_seconds"]),
+        )
+
+
+@dataclass(frozen=True)
+class NoiseStats:
+    """Noise-budget telemetry of one worker (schema v2).
+
+    Summarizes a :class:`repro.obs.NoiseMonitor`: how many modulus-chain
+    boundary events the worker executed, the lowest level any ciphertext
+    reached (how close the run came to exhausting the chain), and the
+    largest log2 drift of any post-boundary scale from the context's
+    Delta (precision regressions localize here before they corrupt
+    decrypted outputs).
+    """
+
+    rescales: int = 0
+    mod_downs: int = 0
+    bootstraps: int = 0
+    min_level: Optional[int] = None
+    max_scale_drift_log2: float = 0.0
+
+    @classmethod
+    def from_monitor(cls, monitor) -> "NoiseStats":
+        return cls(**monitor.stats())
+
+    def merged_with(self, other: "NoiseStats") -> "NoiseStats":
+        levels = [
+            lvl for lvl in (self.min_level, other.min_level) if lvl is not None
+        ]
+        return NoiseStats(
+            rescales=self.rescales + other.rescales,
+            mod_downs=self.mod_downs + other.mod_downs,
+            bootstraps=self.bootstraps + other.bootstraps,
+            min_level=min(levels) if levels else None,
+            max_scale_drift_log2=max(
+                self.max_scale_drift_log2, other.max_scale_drift_log2
+            ),
+        )
+
+    def to_payload(self) -> Dict:
+        return {
+            "rescales": self.rescales,
+            "mod_downs": self.mod_downs,
+            "bootstraps": self.bootstraps,
+            "min_level": self.min_level,
+            "max_scale_drift_log2": self.max_scale_drift_log2,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "NoiseStats":
+        min_level = payload["min_level"]
+        return cls(
+            rescales=int(payload["rescales"]),
+            mod_downs=int(payload["mod_downs"]),
+            bootstraps=int(payload["bootstraps"]),
+            min_level=None if min_level is None else int(min_level),
+            max_scale_drift_log2=float(payload["max_scale_drift_log2"]),
         )
 
 
@@ -95,6 +165,7 @@ class WorkerStats:
         default_factory=lambda: HistogramStats(0, 0.0, 0.0, 0.0)
     )
     ops: Tuple[Tuple[str, HistogramStats], ...] = ()
+    noise: NoiseStats = field(default_factory=NoiseStats)
 
     @classmethod
     def from_server(
@@ -128,43 +199,18 @@ class WorkerStats:
                 (op, HistogramStats.from_histogram(histogram))
                 for op, histogram in sorted(server.op_histograms.items())
             ),
+            noise=NoiseStats.from_monitor(server.noise),
         )
 
     def merged_with(self, other: "WorkerStats") -> "WorkerStats":
         """Fold another server's counters into this worker's (a worker
-        hosting several artifacts reports one combined row)."""
+        hosting several artifacts reports one combined row).  Histogram
+        summaries merge through the shared summarizer in
+        :mod:`repro.obs.summary`."""
         ops: Dict[str, HistogramStats] = dict(self.ops)
         for op, stats in other.ops:
-            if op in ops:
-                mine = ops[op]
-                total = mine.count + stats.count
-                mean = (
-                    (mine.mean_seconds * mine.count + stats.mean_seconds * stats.count)
-                    / total
-                    if total
-                    else 0.0
-                )
-                ops[op] = HistogramStats(
-                    count=total,
-                    mean_seconds=mean,
-                    p50_seconds=max(mine.p50_seconds, stats.p50_seconds),
-                    p99_seconds=max(mine.p99_seconds, stats.p99_seconds),
-                )
-            else:
-                ops[op] = stats
-        mine, theirs = self.request_latency, other.request_latency
-        total = mine.count + theirs.count
-        latency = HistogramStats(
-            count=total,
-            mean_seconds=(
-                (mine.mean_seconds * mine.count + theirs.mean_seconds * theirs.count)
-                / total
-                if total
-                else 0.0
-            ),
-            p50_seconds=max(mine.p50_seconds, theirs.p50_seconds),
-            p99_seconds=max(mine.p99_seconds, theirs.p99_seconds),
-        )
+            ops[op] = ops[op].merged_with(stats) if op in ops else stats
+        latency = self.request_latency.merged_with(other.request_latency)
         return WorkerStats(
             worker_id=self.worker_id,
             requests_served=self.requests_served + other.requests_served,
@@ -184,6 +230,7 @@ class WorkerStats:
             mmap_backed=self.mmap_backed and other.mmap_backed,
             request_latency=latency,
             ops=tuple(sorted(ops.items())),
+            noise=self.noise.merged_with(other.noise),
         )
 
     def to_payload(self) -> Dict:
@@ -203,6 +250,7 @@ class WorkerStats:
             "mmap_backed": self.mmap_backed,
             "request_latency": self.request_latency.to_payload(),
             "ops": {op: stats.to_payload() for op, stats in self.ops},
+            "noise": self.noise.to_payload(),
         }
 
     @classmethod
@@ -228,6 +276,7 @@ class WorkerStats:
                 (op, HistogramStats.from_payload(entry))
                 for op, entry in sorted(payload["ops"].items())
             ),
+            noise=NoiseStats.from_payload(payload["noise"]),
         )
 
 
@@ -301,9 +350,16 @@ class ServerStats:
     def from_payload(cls, payload: Dict) -> "ServerStats":
         version = payload.get("schema_version")
         if version != STATS_SCHEMA_VERSION:
+            hint = (
+                " (version 1 payloads predate the per-worker noise-budget "
+                "telemetry; re-export from this build — there is no lossy "
+                "auto-upgrade)"
+                if version == 1
+                else ""
+            )
             raise StatsSchemaError(
                 f"stats schema version {version!r} is not supported "
-                f"(this build reads version {STATS_SCHEMA_VERSION})"
+                f"(this build reads version {STATS_SCHEMA_VERSION}){hint}"
             )
         return cls(
             schema_version=int(version),

@@ -1,12 +1,33 @@
 """Shared fixtures: small CKKS contexts and backends are expensive to
 build, so session-scoped fixtures keep the suite fast."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.backend import SimBackend, ToyBackend
 from repro.ckks.context import CkksContext
 from repro.ckks.params import paper_parameters, toy_parameters
+from repro.obs import Tracer, set_tracer
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _ambient_tracer():
+    """The CI ``tracing: on`` leg (REPRO_TRACE=on) runs the whole suite
+    with a process-wide Tracer installed, so every bit-exactness assert
+    doubles as a tracing-must-not-perturb-results probe.  Spans are
+    never drained here — max_roots bounds the memory, and dropping
+    excess roots is itself part of the exercised surface."""
+    if os.environ.get("REPRO_TRACE", "").lower() not in ("on", "1", "true"):
+        yield None
+        return
+    tracer = Tracer(max_roots=1000)
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(None)
 
 
 @pytest.fixture(scope="session")
