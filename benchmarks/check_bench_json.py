@@ -87,6 +87,12 @@ FLOORS = {
     "graph_opt": {
         "speedup_optimized_vs_unoptimized": (1.2, 1.2),
     },
+    # PRG-seeded switching keys: bytes if both RLWE halves were stored
+    # vs bytes actually held (b halves + a 32-byte seed).  ~2.0x in
+    # practice; 1.8x floor leaves room for metadata growth.
+    "tenant_keys": {
+        "seed_expansion_shrink": (1.8, 1.8),
+    },
 }
 
 # section -> metric -> (quick_ceiling, full_ceiling).  The mirror image
@@ -100,6 +106,13 @@ CEILINGS = {
     "tracing_overhead": {
         "disabled_overhead_pct": (5.0, 2.0),
         "enabled_overhead_pct": (15.0, 10.0),
+    },
+    # Tenant density budget: total key bytes (resident + spilled) per
+    # tenant must not creep up — it is the denominator of tenants/GB.
+    # Measured ~31.7 MB (quick, N=1024) and ~95.6 MB (full, N=2048)
+    # with seeded keys; ceilings leave ~1.3x headroom.
+    "tenant_keys": {
+        "bytes_per_tenant": (42_000_000, 125_000_000),
     },
 }
 
@@ -116,7 +129,7 @@ REQUIRED_SECTIONS = {
         "graph_opt",
         "tracing_overhead",
     ),
-    "BENCH_serving.json": ("serving", "serving_pool"),
+    "BENCH_serving.json": ("serving", "serving_pool", "tenant_keys"),
 }
 
 # Numeric fields every section entry must carry (besides the speedups).
@@ -132,6 +145,12 @@ SECTION_MEDIANS = {
     "bootstrap_e2e": ("shared_median_ms", "pre_pr_median_ms"),
     "serving": ("single_request_median_ms", "batched_request_median_ms"),
     "serving_pool": ("p50_ms", "p99_ms"),
+    "tenant_keys": (
+        "resident_bytes",
+        "spilled_bytes",
+        "bytes_per_tenant",
+        "keygen_seconds",
+    ),
     "graph_opt": ("optimized_median_ms", "unoptimized_median_ms"),
     # Overhead *percentages* are deliberately absent: a clean run clips
     # them to 0.0, which is a pass, not a schema violation.
@@ -205,6 +224,29 @@ def _check_serving_pool(errors, config_key, data):
         errors.append(f"{prefix}: p99_ms ({p99}) below p50_ms ({p50})")
 
 
+def _check_tenant_keys(errors, config_key, data):
+    """Correctness gates for the tenant-density section: spill-to-disk
+    must actually have happened, and a promoted (spilled then reloaded)
+    tenant must have been proven bit-exact against one that never
+    spilled — keys *and* encryption randomness stream."""
+    prefix = f"{config_key}/tenant_keys"
+    if data.get("spill_promote_bit_exact") is not True:
+        errors.append(
+            f"{prefix}.spill_promote_bit_exact: must be true "
+            f"(got {data.get('spill_promote_bit_exact')!r}) — a promoted "
+            "tenant was not proven bit-exact against a never-spilled one"
+        )
+    tenants = data.get("tenants")
+    if not isinstance(tenants, int) or tenants < 4:
+        errors.append(f"{prefix}.tenants: expected >= 4, got {tenants!r}")
+    spilled = data.get("spilled_tenants")
+    if not isinstance(spilled, int) or spilled < 1:
+        errors.append(
+            f"{prefix}.spilled_tenants: expected >= 1 — the benchmark "
+            f"never exercised the spill path, got {spilled!r}"
+        )
+
+
 def check(path):
     errors = []
     try:
@@ -236,6 +278,8 @@ def check(path):
             _check_medians(errors, config_key, section, section_data)
             if section == "serving_pool":
                 _check_serving_pool(errors, config_key, section_data)
+            if section == "tenant_keys":
+                _check_tenant_keys(errors, config_key, section_data)
             for dotted, (quick_floor, full_floor) in metrics.items():
                 floor = quick_floor if quick else full_floor
                 value = _lookup(section_data, dotted)
@@ -257,14 +301,15 @@ def check(path):
             if section_data is None:
                 continue
             seen_sections.add(section)
-            _check_medians(errors, config_key, section, section_data)
+            if section not in FLOORS:  # avoid double-reporting medians
+                _check_medians(errors, config_key, section, section_data)
             for dotted, (quick_ceiling, full_ceiling) in metrics.items():
                 ceiling = quick_ceiling if quick else full_ceiling
                 value = _lookup(section_data, dotted)
                 if value is None:
                     errors.append(
                         f"{config_key}/{section}.{dotted}: missing "
-                        f"(ceiling {ceiling}%)"
+                        f"(ceiling {ceiling})"
                     )
                 elif not isinstance(value, (int, float)) or not math.isfinite(value):
                     errors.append(
@@ -273,7 +318,7 @@ def check(path):
                 elif value > ceiling:
                     errors.append(
                         f"PERF REGRESSION {config_key}/{section}.{dotted}: "
-                        f"{value}% is above the {ceiling}% ceiling"
+                        f"{value} is above the {ceiling} ceiling"
                     )
     required = REQUIRED_SECTIONS.get(os.path.basename(path), tuple(FLOORS) + tuple(CEILINGS))
     for section in required:

@@ -34,7 +34,12 @@ from repro import kernels
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.encoding import get_encoder
 from repro.ckks.galois import galois_offset_key
-from repro.ckks.keys import KeyChain, SwitchingKey
+from repro.ckks.keys import (
+    KEY_PRG_SEED_BYTES,
+    KeyChain,
+    SwitchingKey,
+    expand_a_half,
+)
 from repro.ckks.params import CkksParameters, RingType
 from repro.ntt import galois_eval_permutation
 from repro.obs.tracing import get_tracer
@@ -151,6 +156,12 @@ class CkksContext:
         switch at ``level <= max_level`` (the use-time restriction in
         :meth:`_key_tensors` selects a sub-chain either way) and shrinks
         storage by the dropped digits *and* the dropped limbs per digit.
+
+        Every key is *seed-expandable*: the uniform ``a_i`` halves come
+        from a counter-based PRG keyed by one 32-byte seed (drawn here
+        from the context rng), so persistent storage needs only the
+        ``b_i`` halves plus the seed — see
+        :meth:`repro.ckks.keys.SwitchingKey.from_seed`.
         """
         if max_level is None or max_level >= self.params.max_level:
             max_level = None
@@ -164,9 +175,10 @@ class CkksContext:
         alpha = self.params.ks_alpha
         num_digits = self._ks_num_digits(num_data - 1)
         special = self.basis.special_modulus()
+        seed = self.rng.bytes(KEY_PRG_SEED_BYTES)
         pairs = []
         for digit in range(num_digits):
-            a_i = self._uniform_poly(chain)
+            a_i = expand_a_half(seed, digit, self.basis, chain)
             e_i = self._noise_poly(chain)
             b_i = (-(a_i * to_key)) + e_i
             gadget_factors = [
@@ -175,7 +187,7 @@ class CkksContext:
             ]
             b_i = b_i + from_key.scalar_mul(gadget_factors)
             pairs.append((b_i, a_i))
-        return SwitchingKey(pairs, max_level=max_level)
+        return SwitchingKey(pairs, max_level=max_level, seed=seed)
 
     def galois_key(
         self, exponent: int, max_level: Optional[int] = None
@@ -256,7 +268,25 @@ class CkksContext:
             (self._restrict(b, chain), self._restrict(a, chain))
             for b, a in key.pairs[:num_digits]
         ]
-        return SwitchingKey(pairs, max_level=max_level)
+        # The seed survives restriction: the PRG is keyed by prime
+        # *value*, so re-expanding over the restricted chain regenerates
+        # exactly the rows kept here (asserted in the key-lifecycle
+        # tests).
+        return SwitchingKey(pairs, max_level=max_level, seed=key.seed)
+
+    def install_keychain(self, keys: KeyChain) -> None:
+        """Replace this context's key material wholesale.
+
+        The restore half of key spill-to-disk
+        (:class:`repro.serve.keys.KeyRegistry`): a freshly constructed
+        context adopts a previously serialized :class:`KeyChain` instead
+        of the one its own keygen produced.  The stacked key-tensor
+        cache is cleared — its entries are validated by per-key tensor
+        *identity*, so stale stacks could never be served, but keeping
+        them alive would pin the replaced tensors in memory.
+        """
+        self.keys = keys
+        self._stacked_key_cache.clear()
 
     def generate_rotation_keys(
         self, steps: Iterable[int], levels: Optional[Dict[int, int]] = None

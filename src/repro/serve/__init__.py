@@ -37,12 +37,16 @@ import warnings as _warnings
 
 from repro.serve.api import Server, ServerConfig, open
 from repro.serve.artifact import (
+    ArtifactDeltaError,
     ArtifactSchemaError,
     ServingArtifact,
+    apply_artifact_delta,
+    artifact_fingerprint,
     load_artifact,
     save_artifact,
+    save_artifact_delta,
 )
-from repro.serve.keys import KeyRegistry
+from repro.serve.keys import KeyRegistry, KeySpillError
 from repro.serve.mmapio import ArtifactMap, is_mmap_backed
 from repro.serve.pool import (
     AdmissionError,
@@ -124,10 +128,15 @@ __all__ = [
     "STATS_SCHEMA_VERSION",
     # artifacts & keys
     "ArtifactSchemaError",
+    "ArtifactDeltaError",
     "ServingArtifact",
     "load_artifact",
     "save_artifact",
+    "save_artifact_delta",
+    "apply_artifact_delta",
+    "artifact_fingerprint",
     "KeyRegistry",
+    "KeySpillError",
     # results / scheduling primitives
     "ServeResult",
     "PendingRequest",

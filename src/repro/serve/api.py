@@ -67,6 +67,15 @@ class ServerConfig:
             any worker's response decrypts under the pool key) or
             ``"per_worker"`` (each worker its own domain).
         key_seed: base seed for worker key generation.
+        key_cache_dir: optional spill directory for per-worker
+            :class:`repro.serve.keys.KeyRegistry` instances.  When set,
+            cold tenant key chains are demoted to fingerprint-addressed
+            files under it instead of being destroyed, and promoted
+            back (bit-exactly) on the next request; when ``None`` (the
+            default) demotion discards keys.  See docs/keys.md.
+        max_tenants: per-(worker, artifact) key-registry LRU capacity —
+            how many tenants' key chains stay resident in RAM before
+            the coldest spill (or drop, without ``key_cache_dir``).
         kernel_backend: optional :mod:`repro.kernels` selection applied
             in each worker (``None`` keeps the ambient selection).
         preload: seed backend caches from the artifact's pre-encoded
@@ -91,6 +100,8 @@ class ServerConfig:
     routing_seed: int = 0
     key_policy: str = "shared"
     key_seed: int = 0
+    key_cache_dir: Optional[str] = None
+    max_tenants: int = 16
     kernel_backend: Optional[str] = None
     preload: bool = True
     backend_factory: Optional[Callable] = None
@@ -125,6 +136,8 @@ class ServerConfig:
                 f"ServerConfig.key_policy must be 'shared' or 'per_worker', "
                 f"got {self.key_policy!r}"
             )
+        if self.max_tenants < 1:
+            raise ValueError("ServerConfig.max_tenants must be at least 1")
         if (
             self.kernel_backend is not None
             and self.kernel_backend not in _KERNEL_BACKENDS
@@ -185,8 +198,26 @@ def _artifact_specs(
 class Server:
     """A running serving deployment (dispatcher + worker pool).
 
-    Use :func:`open` to construct one.  Context-manager friendly:
-    leaving the ``with`` block drains and shuts the pool down.
+    Use :func:`open` to construct one; do not instantiate directly.
+    Context-manager friendly: leaving the ``with`` block drains and
+    shuts the pool down.
+
+    The request surface is three calls: :meth:`submit` enqueues a
+    request for slot batching (``step()`` later runs the due batches),
+    :meth:`serve_now` runs one request immediately, and :meth:`drain`
+    flushes everything queued.  Observability is :meth:`stats` (typed,
+    schema-versioned), :meth:`metrics` / :meth:`metrics_text`
+    (Prometheus), and :meth:`trace` / :meth:`export_chrome_trace`
+    (span tracks).  Lifecycle extras: :meth:`warm` pre-pays keygen and
+    encodes, :meth:`reload` hot-swaps an updated artifact file into the
+    running pool.
+
+    Example::
+
+        cfg = ServerConfig(workers=4, admission_budget_seconds=0.25)
+        with serve.open("mnist_mlp.npz", cfg) as server:
+            ticket = server.submit(image, client_id="tenant-a")
+            results = server.drain()
     """
 
     def __init__(self, specs: Tuple[ArtifactSpec, ...], config: ServerConfig):
@@ -210,6 +241,8 @@ class Server:
             kernel_backend=config.kernel_backend,
             key_seed=config.key_seed,
             key_policy=config.key_policy,
+            key_cache_dir=config.key_cache_dir,
+            max_tenants=config.max_tenants,
             batching=config.batching,
             max_batch=config.max_batch,
             batch_window_seconds=config.batch_window_seconds,
@@ -267,9 +300,32 @@ class Server:
         return self._dispatcher.drain()
 
     def warm(self, batch_sizes=None) -> None:
-        """Pre-run key/cache warm-up on every worker (off the books)."""
+        """Pre-run key/cache warm-up on every worker (off the books).
+
+        Runs one throwaway batch per listed batch size so lazy key
+        generation and plaintext encodes happen here, not under the
+        first paying request.  ``batch_sizes`` defaults to each
+        server's common sizes.
+        """
         for worker in self._dispatcher.pool.workers:
             worker.warm(batch_sizes)
+
+    def reload(self, artifact: Optional[str] = None) -> None:
+        """Hot-swap a new version of an artifact into the running pool.
+
+        The caller first replaces the artifact's file on disk — e.g. by
+        applying a weight delta with
+        :func:`repro.serve.artifact.apply_artifact_delta` — and then
+        calls this.  Every worker re-opens the path (the ``<path>.mmap``
+        stamp discipline notices the changed bytes and re-extracts) and
+        rebuilds its serving lane around the new tables while **keeping
+        its backend and key domain**: clients holding ciphertexts keep
+        decrypting, which is why the new version must carry the same key
+        manifest.  Requires an idle pool — :meth:`drain` first;
+        ``RuntimeError`` if requests are in flight or the manifest
+        changed, ``ValueError`` for in-memory (pathless) artifacts.
+        """
+        self._dispatcher.reload(self._resolve(artifact))
 
     def close(self) -> None:
         """Shut the pool down (process workers join their children)."""
@@ -408,9 +464,23 @@ def open(
         config: a :class:`ServerConfig`; defaults to a single inline
             worker.
 
+    Returns:
+        a :class:`Server` — use it as a context manager so the pool is
+        drained and shut down on exit.
+
     Paths are opened through :class:`repro.serve.mmapio.ArtifactMap`,
     so every worker shares one mmapped copy of the tables.  In-memory
     artifacts are accepted for ``inline`` pools only — process workers
-    need a path to map.
+    need a path to map.  Delta artifacts
+    (:func:`repro.serve.artifact.save_artifact_delta`) cannot be
+    opened directly: apply them to their base first with
+    :func:`repro.serve.artifact.apply_artifact_delta`.
+
+    Example::
+
+        import repro.serve as serve
+
+        with serve.open({"mnist": "mnist_mlp.npz"}) as server:
+            result = server.serve_now(image, client_id="tenant-a")
     """
     return Server(_artifact_specs(source), config or ServerConfig())

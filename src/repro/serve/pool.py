@@ -49,10 +49,16 @@ from repro import kernels
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.serve.artifact import ServingArtifact
-from repro.serve.keys import default_backend_factory
+from repro.serve.keys import KeyRegistry, default_backend_factory
 from repro.serve.mmapio import ArtifactMap, is_mmap_backed
 from repro.serve.runtime import InferenceServer, ServeResult
 from repro.serve.stats import WorkerStats
+
+#: Registry client id under which each worker's own serving backend is
+#: adopted (and pinned for the worker's lifetime): the pool backend is
+#: permanently in flight, so the LRU may spill cold *tenant* keys around
+#: it but never the keys requests are being served under.
+POOL_CLIENT_ID = "__pool__"
 
 
 class AdmissionError(RuntimeError):
@@ -171,15 +177,31 @@ def _build_servers(
     batch_window_seconds: float,
     preload: bool,
     backend_factory: Optional[Callable],
+    key_cache_dir: Optional[str] = None,
+    max_tenants: int = 16,
     shared_artifacts: Optional[Dict[str, ServingArtifact]] = None,
     tracer: Optional[Tracer] = None,
-) -> Tuple[Dict[str, InferenceServer], Dict[str, WorkerProfile]]:
+) -> Tuple[
+    Dict[str, InferenceServer],
+    Dict[str, WorkerProfile],
+    Dict[str, KeyRegistry],
+]:
     """Load every hosted artifact (mmap when given a path) and stand up
-    one InferenceServer per artifact for this worker."""
+    one InferenceServer per artifact for this worker.
+
+    Each (worker, artifact) lane also gets a
+    :class:`repro.serve.keys.KeyRegistry` over the artifact's manifest:
+    the worker's own backend is built by the factory exactly as before
+    (same deterministic seed — the bit-exactness contract is untouched)
+    and then *adopted* and pinned under :data:`POOL_CLIENT_ID`, so the
+    registry's resident/spilled key-bytes accounting covers the pool and
+    any per-tenant backends share its LRU/pin/spill discipline.
+    """
     factory = backend_factory or default_backend_factory
     seed = _worker_seed(key_seed, key_policy, worker_id)
     servers: Dict[str, InferenceServer] = {}
     profiles: Dict[str, WorkerProfile] = {}
+    registries: Dict[str, KeyRegistry] = {}
     for spec in specs:
         mmapped = False
         if shared_artifacts is not None and spec.artifact_id in shared_artifacts:
@@ -193,6 +215,14 @@ def _build_servers(
         else:
             artifact = spec.artifact
         backend = factory(artifact.manifest.to_params(), seed)
+        registry = KeyRegistry(
+            artifact.manifest,
+            backend_factory=factory,
+            max_clients=max_tenants,
+            cache_dir=key_cache_dir,
+        )
+        registry.adopt(POOL_CLIENT_ID, backend)
+        registry.pin(POOL_CLIENT_ID)
         server = InferenceServer(
             artifact,
             backend,
@@ -205,12 +235,13 @@ def _build_servers(
         if mmapped:
             verify_mmap_tables(server, spec.path)
         servers[spec.artifact_id] = server
+        registries[spec.artifact_id] = registry
         profiles[spec.artifact_id] = WorkerProfile(
             capacity=server.scheduler.capacity,
             modeled_seconds=server.scheduler.modeled_run_seconds,
             mmap_backed=mmapped,
         )
-    return servers, profiles
+    return servers, profiles, registries
 
 
 class InlineWorker:
@@ -229,6 +260,7 @@ class InlineWorker:
         **build_opts,
     ):
         self.worker_id = worker_id
+        self.specs = tuple(specs)
         tracing = build_opts.pop("tracing", False)
         sample_rate = build_opts.pop("trace_sample_rate", 1.0)
         #: one tracer per worker shard — its spans become this worker's
@@ -241,7 +273,10 @@ class InlineWorker:
         # Cumulative process-wide kernel dispatch counts accumulated from
         # the registry's destructive drain (see metrics_registry).
         self._dispatch_totals: Dict[str, int] = {}
-        self.servers, self.profiles = _build_servers(
+        # Kept for hot reload: a swapped-in artifact rebuilds its server
+        # with the same batching/preload options it was opened with.
+        self._build_opts = dict(build_opts)
+        self.servers, self.profiles, self.registries = _build_servers(
             worker_id,
             specs,
             shared_artifacts=shared_artifacts,
@@ -294,6 +329,60 @@ class InlineWorker:
         for server in self.servers.values():
             server.warm(batch_sizes=batch_sizes)
 
+    def reload(self, artifact_id: str, artifact: Optional[ServingArtifact] = None):
+        """Hot-swap a new artifact version into this worker.
+
+        Re-opens the artifact's path (whose bytes the caller has already
+        replaced — e.g. via
+        :func:`repro.serve.artifact.apply_artifact_delta` — so the
+        ``<path>.mmap`` stamp discipline re-extracts automatically) and
+        rebuilds the lane's :class:`InferenceServer` around it.  The
+        existing backend is **reused**: a weight update must not rotate
+        the key domain out from under clients that hold ciphertexts, so
+        the swapped-in artifact is required to carry the *same* key
+        manifest.  The lane's queue must be empty (``drain()`` first).
+        Returns the refreshed :class:`WorkerProfile`.
+        """
+        old = self.servers[artifact_id]
+        if len(old.scheduler):
+            raise RuntimeError(
+                f"artifact {artifact_id!r} has queued requests on worker "
+                f"{self.worker_id}; drain() before reload"
+            )
+        spec = next(s for s in self.specs if s.artifact_id == artifact_id)
+        if artifact is None:
+            if spec.path is None:
+                raise ValueError(
+                    f"artifact {artifact_id!r} was opened in-memory; hot "
+                    "reload needs a path-backed artifact"
+                )
+            artifact = ArtifactMap(spec.path).load()
+        registry = self.registries[artifact_id]
+        if artifact.manifest.fingerprint() != registry.manifest.fingerprint():
+            raise RuntimeError(
+                f"artifact {artifact_id!r}: reload changes the key manifest "
+                "— tenants hold ciphertexts under the current keys; open a "
+                "new server for key-incompatible artifacts"
+            )
+        server = InferenceServer(
+            artifact,
+            old.backend,
+            batching=self._build_opts["batching"],
+            max_batch=self._build_opts["max_batch"],
+            max_wait_seconds=self._build_opts["batch_window_seconds"],
+            preload=self._build_opts["preload"],
+            tracer=self.tracer,
+        )
+        if spec.path is not None:
+            verify_mmap_tables(server, spec.path)
+        self.servers[artifact_id] = server
+        self.profiles[artifact_id] = WorkerProfile(
+            capacity=server.scheduler.capacity,
+            modeled_seconds=server.scheduler.modeled_run_seconds,
+            mmap_backed=spec.path is not None,
+        )
+        return self.profiles[artifact_id]
+
     def _stamp(
         self, result: ServeResult, artifact_id: str, ticket: Optional[int] = None
     ) -> ServeResult:
@@ -322,6 +411,7 @@ class InlineWorker:
                 server,
                 queue_depth=len(server.scheduler),
                 mmap_backed=self.profiles[artifact_id].mmap_backed,
+                registry=self.registries.get(artifact_id),
             )
             combined = stats if combined is None else combined.merged_with(stats)
         return combined
@@ -392,6 +482,29 @@ class InlineWorker:
                 help="Max |log2(scale/Delta)| seen after a boundary op.",
                 **labels,
             )
+            key_registry = self.registries.get(artifact_id)
+            if key_registry is not None:
+                key_bytes = key_registry.key_bytes()
+                for state, value in sorted(key_bytes.items()):
+                    registry.gauge(
+                        "repro_key_material_bytes",
+                        value,
+                        help="Key-registry material bytes, by residency.",
+                        state=state,
+                        **labels,
+                    )
+                registry.counter(
+                    "repro_key_spills_total",
+                    key_registry.spill_count,
+                    help="Tenant key chains demoted to spill files.",
+                    **labels,
+                )
+                registry.counter(
+                    "repro_key_promotes_total",
+                    key_registry.promote_count,
+                    help="Tenant key chains promoted back from disk.",
+                    **labels,
+                )
             registry.record_histogram(
                 "repro_request_latency_seconds",
                 server.request_latency,
@@ -505,6 +618,9 @@ def _process_worker_main(
             elif kind == "warm":
                 worker.warm(message[1])
                 response_queue.put(("done", worker_id, 0))
+            elif kind == "reload":
+                profile = worker.reload(message[1])
+                response_queue.put(("profile", worker_id, (message[1], profile)))
             elif kind == "stop":
                 response_queue.put(("stopped", worker_id, None))
                 return
@@ -619,6 +735,18 @@ class ProcessWorker:
     def warm(self, batch_sizes=None) -> None:
         self._requests.put(("warm", batch_sizes))
         self._collect()
+
+    def reload(self, artifact_id: str) -> WorkerProfile:
+        """Hot-swap the artifact inside the child; mirror its profile."""
+        self._requests.put(("reload", artifact_id))
+        while True:
+            kind, _, payload = self._responses.get()
+            if kind == "profile":
+                _, profile = payload
+                self.profiles[artifact_id] = profile
+                return profile
+            if kind == "error":
+                raise RuntimeError(f"worker {self.worker_id} died: {payload}")
 
     def _collect(self) -> List[ServeResult]:
         """Read responses until the worker's 'done' marker."""
@@ -760,6 +888,29 @@ class WorkerPool:
     def __len__(self) -> int:
         return len(self.workers)
 
+    def reload(self, artifact_id: str) -> None:
+        """Hot-swap a new version of one artifact into every worker.
+
+        Inline pools re-open the (replaced) artifact file once and share
+        the fresh load across workers, mirroring construction; process
+        workers each re-map the file in their own child (page cache
+        makes the bytes physically shared anyway).
+        """
+        spec = next(
+            (s for s in self.specs if s.artifact_id == artifact_id), None
+        )
+        if spec is None:
+            raise KeyError(f"unknown artifact {artifact_id!r}")
+        if self.mode == "inline":
+            fresh = None
+            if spec.path is not None:
+                fresh = ArtifactMap(spec.path).load()
+            for worker in self.workers:
+                worker.reload(artifact_id, artifact=fresh)
+        else:
+            for worker in self.workers:
+                worker.reload(artifact_id)
+
     def close(self) -> None:
         for worker in self.workers:
             worker.close()
@@ -892,6 +1043,22 @@ class Dispatcher:
             results.extend(worker.drain())
         self.requests_completed += len(results)
         return results
+
+    def reload(self, artifact_id: str) -> None:
+        """Hot-swap one artifact across the pool (quiesced swap).
+
+        Requires zero in-flight requests — call :meth:`drain` first —
+        so no request ever sees half a swap.  Routing, admission
+        counters, and tenant key domains all survive the reload.
+        """
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        if self.in_flight:
+            raise RuntimeError(
+                f"{self.in_flight} request(s) in flight; drain() before "
+                "reloading an artifact"
+            )
+        self.pool.reload(artifact_id)
 
     def close(self) -> None:
         self._closed = True

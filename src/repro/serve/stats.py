@@ -26,12 +26,14 @@ from typing import Dict, Optional, Tuple
 
 from repro.obs.summary import merge_histogram_summaries, summarize_histogram
 
-#: Version 2: adds per-worker noise-budget telemetry (``WorkerStats.
-#: noise`` — rescale/mod-down/bootstrap boundary counts, minimum level
-#: touched, max log2 scale drift).  Version 1 payloads (no noise block)
-#: are rejected loudly by ``ServerStats.from_payload``; see
-#: docs/observability.md for the migration note.
-STATS_SCHEMA_VERSION = 2
+#: Version 3: adds per-worker key-material accounting (``WorkerStats.
+#: key_bytes_resident`` / ``key_bytes_spilled`` and the matching tenant
+#: counts) from the spill-capable :class:`repro.serve.keys.KeyRegistry`.
+#: Version 2 added the per-worker noise-budget telemetry
+#: (``WorkerStats.noise``).  Payloads from any other version are
+#: rejected loudly by ``ServerStats.from_payload``; see
+#: docs/observability.md for the migration notes.
+STATS_SCHEMA_VERSION = 3
 
 
 class StatsSchemaError(ValueError):
@@ -146,6 +148,13 @@ class WorkerStats:
     ``ops`` maps an operation phase (``linear``, ``act``, ...) to the
     modeled-latency histogram of its per-batch charges — the typed
     replacement for the raw ``stats()["ops"]`` dicts.
+
+    ``key_bytes_resident`` / ``key_bytes_spilled`` (schema v3) split the
+    worker's key-material footprint between RAM and spill files, as
+    accounted by its :meth:`repro.serve.keys.KeyRegistry.key_bytes`;
+    ``tenants_resident`` / ``tenants_spilled`` count the clients on each
+    side.  The serving-pool benchmark gates the resident number against
+    a budget so tenant-density regressions fail CI.
     """
 
     worker_id: int
@@ -166,6 +175,10 @@ class WorkerStats:
     )
     ops: Tuple[Tuple[str, HistogramStats], ...] = ()
     noise: NoiseStats = field(default_factory=NoiseStats)
+    key_bytes_resident: int = 0
+    key_bytes_spilled: int = 0
+    tenants_resident: int = 0
+    tenants_spilled: int = 0
 
     @classmethod
     def from_server(
@@ -174,10 +187,19 @@ class WorkerStats:
         server,
         queue_depth: int,
         mmap_backed: bool,
+        registry=None,
     ) -> "WorkerStats":
-        """Summarize one :class:`repro.serve.runtime.InferenceServer`."""
+        """Summarize one :class:`repro.serve.runtime.InferenceServer`.
+
+        ``registry`` is the worker's :class:`repro.serve.keys.KeyRegistry`
+        for this artifact (when the pool routes key accounting through
+        one); it supplies the resident/spilled key-material split.
+        """
         from repro import kernels
 
+        key_bytes = (
+            registry.key_bytes() if registry is not None else {"resident": 0, "spilled": 0}
+        )
         return cls(
             worker_id=worker_id,
             requests_served=server.requests_served,
@@ -200,6 +222,12 @@ class WorkerStats:
                 for op, histogram in sorted(server.op_histograms.items())
             ),
             noise=NoiseStats.from_monitor(server.noise),
+            key_bytes_resident=key_bytes["resident"],
+            key_bytes_spilled=key_bytes["spilled"],
+            tenants_resident=len(registry) if registry is not None else 0,
+            tenants_spilled=(
+                registry.spilled_count() if registry is not None else 0
+            ),
         )
 
     def merged_with(self, other: "WorkerStats") -> "WorkerStats":
@@ -231,6 +259,11 @@ class WorkerStats:
             request_latency=latency,
             ops=tuple(sorted(ops.items())),
             noise=self.noise.merged_with(other.noise),
+            key_bytes_resident=self.key_bytes_resident
+            + other.key_bytes_resident,
+            key_bytes_spilled=self.key_bytes_spilled + other.key_bytes_spilled,
+            tenants_resident=self.tenants_resident + other.tenants_resident,
+            tenants_spilled=self.tenants_spilled + other.tenants_spilled,
         )
 
     def to_payload(self) -> Dict:
@@ -251,6 +284,10 @@ class WorkerStats:
             "request_latency": self.request_latency.to_payload(),
             "ops": {op: stats.to_payload() for op, stats in self.ops},
             "noise": self.noise.to_payload(),
+            "key_bytes_resident": self.key_bytes_resident,
+            "key_bytes_spilled": self.key_bytes_spilled,
+            "tenants_resident": self.tenants_resident,
+            "tenants_spilled": self.tenants_spilled,
         }
 
     @classmethod
@@ -277,6 +314,10 @@ class WorkerStats:
                 for op, entry in sorted(payload["ops"].items())
             ),
             noise=NoiseStats.from_payload(payload["noise"]),
+            key_bytes_resident=int(payload["key_bytes_resident"]),
+            key_bytes_spilled=int(payload["key_bytes_spilled"]),
+            tenants_resident=int(payload["tenants_resident"]),
+            tenants_spilled=int(payload["tenants_spilled"]),
         )
 
 
@@ -350,16 +391,22 @@ class ServerStats:
     def from_payload(cls, payload: Dict) -> "ServerStats":
         version = payload.get("schema_version")
         if version != STATS_SCHEMA_VERSION:
-            hint = (
-                " (version 1 payloads predate the per-worker noise-budget "
-                "telemetry; re-export from this build — there is no lossy "
-                "auto-upgrade)"
-                if version == 1
-                else ""
-            )
+            hints = {
+                1: (
+                    " (version 1 payloads predate the per-worker "
+                    "noise-budget telemetry; re-export from this build — "
+                    "there is no lossy auto-upgrade)"
+                ),
+                2: (
+                    " (version 2 payloads predate the per-worker "
+                    "key-material accounting; re-export from this build — "
+                    "there is no lossy auto-upgrade)"
+                ),
+            }
             raise StatsSchemaError(
                 f"stats schema version {version!r} is not supported "
-                f"(this build reads version {STATS_SCHEMA_VERSION}){hint}"
+                f"(this build reads version {STATS_SCHEMA_VERSION})"
+                f"{hints.get(version, '')}"
             )
         return cls(
             schema_version=int(version),

@@ -1,0 +1,512 @@
+"""Tenant-scale key & artifact lifecycle (docs/keys.md).
+
+Covers the PRG-seeded switching keys (expansion bit-exact against the
+stored halves, across ``ks_alpha`` groupings and compressed level
+bounds), the :class:`repro.serve.keys.KeyRegistry` spill-to-disk path
+(promoted tenants bit-identical to never-spilled ones, pins respected
+under concurrency, loud spill-file validation), the weight-delta
+artifact format (resolution, atomic apply, fingerprint pinning), the
+hot reload of a running pool, and the telemetry that reports it all
+(stats schema v3, key-bytes Prometheus gauges).
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import serve
+from repro.backend import ToyBackend
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import (
+    KEY_PRG_SEED_BYTES,
+    SwitchingKey,
+    expand_a_half,
+    expand_uniform_row,
+)
+from repro.ckks.params import toy_parameters
+from repro.models import SecureMlp
+from repro.nn import init
+from repro.orion import OrionNetwork
+from repro.serve import (
+    ArtifactDeltaError,
+    KeyRegistry,
+    KeySpillError,
+    apply_artifact_delta,
+    artifact_fingerprint,
+    load_artifact,
+    save_artifact,
+    save_artifact_delta,
+)
+from repro.serve.keys import default_backend_factory
+from repro.serve.runtime import InferenceServer
+from repro.serve.stats import (
+    STATS_SCHEMA_VERSION,
+    ServerStats,
+    StatsSchemaError,
+    WorkerStats,
+)
+
+
+def _tiny_params(ks_alpha: int = 1, max_level: int = 4):
+    return toy_parameters(
+        ring_degree=64,
+        max_level=max_level,
+        boot_levels=1,
+        scale_bits=24,
+        num_special_primes=max(1, ks_alpha),
+        ks_alpha=ks_alpha,
+    )
+
+
+def _mlp_params():
+    return toy_parameters(
+        ring_degree=1024, max_level=6, boot_levels=1, scale_bits=24
+    )
+
+
+def _make_net(seed=0, perturb_last=None):
+    init.seed_init(seed)
+    net = SecureMlp(input_pixels=64, hidden=16)
+    if perturb_last is not None:
+        rng = np.random.default_rng(perturb_last)
+        for p in net.fc3.parameters():
+            p.data = p.data + rng.normal(0, 1e-3, p.data.shape)
+    onet = OrionNetwork(net, (1, 8, 8))
+    calib_rng = np.random.default_rng(seed)
+    onet.fit([calib_rng.normal(0, 0.5, (8, 1, 8, 8))])
+    return onet
+
+
+@pytest.fixture(scope="module")
+def mlp_deployment(tmp_path_factory):
+    """A base artifact, a weight-perturbed full re-export, and the delta
+    between them — the raw material for the lifecycle tests below."""
+    params = _mlp_params()
+    root = tmp_path_factory.mktemp("lifecycle")
+    base_path = str(root / "base.npz")
+    _make_net(seed=0).export(base_path, params)
+
+    onet2 = _make_net(seed=0, perturb_last=42)
+    full_path = str(root / "retrained_full.npz")
+    compiled2 = onet2.compile(params)
+    save_artifact(compiled2, params, full_path)
+    delta_path = str(root / "retrained_delta.npz")
+    save_artifact_delta(onet2.compile(params), params, base_path, delta_path)
+    return params, base_path, full_path, delta_path
+
+
+class TestSeedExpansion:
+    @pytest.mark.parametrize("ks_alpha", [1, 2, 3])
+    def test_expanded_a_halves_bit_exact(self, ks_alpha):
+        """Every key the context generates carries a PRG seed whose
+        expansion reproduces the stored uniform halves bit for bit."""
+        context = CkksContext(_tiny_params(ks_alpha), seed=5)
+        context.generate_rotation_keys([1, 3])
+        keys = [context.keys.relin] + list(context.keys.galois.values())
+        assert keys and all(k.seed is not None for k in keys)
+        for key in keys:
+            assert len(key.seed) == KEY_PRG_SEED_BYTES
+            rebuilt = SwitchingKey.from_seed(
+                key.seed,
+                [b for b, _ in key.pairs],
+                context.basis,
+                max_level=key.max_level,
+            )
+            for (_, a), (_, a2) in zip(key.pairs, rebuilt.pairs):
+                assert np.array_equal(a.data, a2.data)
+
+    @pytest.mark.parametrize("ks_alpha", [1, 2])
+    def test_expansion_at_compressed_level_bounds(self, ks_alpha):
+        """Compressed keys (per-step level bounds) expand from the same
+        seed: rows are keyed by prime *value*, not chain position, so
+        restriction composes with seed expansion automatically."""
+        params = _tiny_params(ks_alpha)
+        context = CkksContext(params, seed=9)
+        context.generate_rotation_keys([1], levels={1: params.max_level - 2})
+        for key in context.keys.galois.values():
+            for digit, (b, a) in enumerate(key.pairs):
+                expanded = expand_a_half(
+                    key.seed, digit, context.basis, b.primes
+                )
+                assert np.array_equal(a.data, expanded.data)
+
+    def test_expansion_is_deterministic_and_distinct(self):
+        seed = b"\x07" * KEY_PRG_SEED_BYTES
+        row = expand_uniform_row(seed, 0, 65537, 64)
+        assert np.array_equal(row, expand_uniform_row(seed, 0, 65537, 64))
+        assert not np.array_equal(row, expand_uniform_row(seed, 1, 65537, 64))
+        assert not np.array_equal(
+            row, expand_uniform_row(b"\x08" * KEY_PRG_SEED_BYTES, 0, 65537, 64)
+        )
+        assert row.min() >= 0 and row.max() < 65537
+
+    def test_seeded_size_at_least_1_8x_smaller(self):
+        context = CkksContext(_tiny_params(2), seed=3)
+        context.generate_rotation_keys([1, 2, 3])
+        stored = seeded = 0
+        for key in [context.keys.relin] + list(context.keys.galois.values()):
+            for b, a in key.pairs:
+                stored += b.data.nbytes + a.data.nbytes
+            seeded += key.size_bytes()
+        assert stored / seeded >= 1.8
+
+
+class TestSpillPromote:
+    def _registry(self, manifest, tmp_path, **kwargs):
+        return KeyRegistry(
+            manifest, cache_dir=str(tmp_path / "keycache"), **kwargs
+        )
+
+    def test_promoted_tenant_bit_exact_vs_never_spilled(
+        self, mlp_deployment, tmp_path
+    ):
+        params, base_path, _, _ = mlp_deployment
+        loaded = load_artifact(base_path)
+        rng = np.random.default_rng(11)
+        first, second = (rng.normal(0, 0.5, (1, 8, 8)) for _ in range(2))
+
+        registry = self._registry(loaded.manifest, tmp_path, max_clients=1)
+        control = KeyRegistry(loaded.manifest, max_clients=4)
+
+        out_first = loaded.program.run(
+            registry.backend_for("alice"), first
+        )
+        registry.backend_for("bob")  # evicts alice -> spill file
+        assert registry.resident_clients() == ["bob"]
+        assert registry.spilled_count() == 1
+        assert registry.spill_count == 1
+        # Spilled accounting: bytes come from the file, not RAM.
+        assert registry.key_material_bytes("alice") > 0
+        key_bytes = registry.key_bytes()
+        assert key_bytes["spilled"] > 0 and key_bytes["resident"] > 0
+
+        ctrl = control.backend_for("alice")
+        assert np.array_equal(out_first, loaded.program.run(ctrl, first))
+        promoted = registry.backend_for("alice")  # transparent promote
+        assert registry.promote_count == 1
+        assert registry.keygen_count == 2  # alice + bob, never a re-keygen
+        # Alice's spill file is retired; bob got demoted in her place.
+        assert registry.resident_clients() == ["alice"]
+        assert registry.spilled_count() == 1
+        assert np.array_equal(
+            loaded.program.run(promoted, second),
+            loaded.program.run(ctrl, second),
+        )
+
+    def test_no_cache_dir_keeps_discard_semantics(self, mlp_deployment):
+        params, base_path, _, _ = mlp_deployment
+        loaded = load_artifact(base_path)
+        registry = KeyRegistry(loaded.manifest, max_clients=1)
+        registry.backend_for("alice")
+        registry.backend_for("bob")
+        registry.backend_for("alice")  # discarded, so full re-keygen
+        assert registry.keygen_count == 3
+        assert registry.spilled_count() == 0
+
+    def test_pinned_client_never_spills(self, mlp_deployment, tmp_path):
+        params, base_path, _, _ = mlp_deployment
+        loaded = load_artifact(base_path)
+        registry = self._registry(loaded.manifest, tmp_path, max_clients=1)
+        with registry.lease("alice"):
+            registry.backend_for("bob")
+            registry.backend_for("carol")
+            assert "alice" in registry.resident_clients()
+            with pytest.raises(RuntimeError, match="in-flight"):
+                registry.spill("alice")
+        # Pin released: the deferred over-capacity demotion fires and
+        # alice's keys move to disk instead of being destroyed.
+        assert "alice" not in registry.resident_clients()
+        assert registry.spilled_count() >= 1
+        assert registry.backend_for("alice") is not None  # promotes back
+        assert registry.promote_count >= 1
+
+    def test_concurrent_pin_lease_while_churning(
+        self, mlp_deployment, tmp_path
+    ):
+        """Leases held across threads keep their client resident while
+        other tenants churn through a size-1 registry."""
+        params, base_path, _, _ = mlp_deployment
+        loaded = load_artifact(base_path)
+        registry = self._registry(loaded.manifest, tmp_path, max_clients=1)
+        registry.backend_for("alice")
+        stop = threading.Event()
+        failures = []
+
+        def hold_lease():
+            try:
+                for _ in range(5):
+                    with registry.lease("alice"):
+                        if "alice" not in registry.resident_clients():
+                            failures.append("alice demoted while leased")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(repr(exc))
+            finally:
+                stop.set()
+
+        thread = threading.Thread(target=hold_lease)
+        thread.start()
+        churn = 0
+        while not stop.is_set() and churn < 50:
+            registry.backend_for(f"tenant-{churn % 3}")
+            churn += 1
+        thread.join()
+        assert not failures
+        assert registry.pin_count("alice") == 0
+
+    def test_spill_file_validation_is_loud(self, mlp_deployment, tmp_path):
+        params, base_path, _, _ = mlp_deployment
+        loaded = load_artifact(base_path)
+        registry = self._registry(loaded.manifest, tmp_path, max_clients=2)
+        registry.backend_for("alice")
+        assert registry.spill("alice") is True
+        path = registry._spill_path("alice")
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(bytes(data["__spill__"]).decode("utf-8"))
+            arrays = {k: data[k] for k in data.files if k != "__spill__"}
+        meta["version"] = 999
+        arrays["__spill__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(open(path, "wb"), **arrays)
+        with pytest.raises(KeySpillError, match="version"):
+            registry.backend_for("alice")
+
+    def test_evict_removes_spill_file(self, mlp_deployment, tmp_path):
+        params, base_path, _, _ = mlp_deployment
+        loaded = load_artifact(base_path)
+        registry = self._registry(loaded.manifest, tmp_path, max_clients=2)
+        registry.backend_for("alice")
+        registry.spill("alice")
+        assert registry.spilled_count() == 1
+        assert registry.evict("alice") is True
+        assert registry.spilled_count() == 0
+        with pytest.raises(KeyError):
+            registry.key_material_bytes("alice")
+
+
+class TestDeltaArtifacts:
+    def test_delta_is_smaller_and_resolves_bit_exact(self, mlp_deployment):
+        params, base_path, full_path, delta_path = mlp_deployment
+        import os
+
+        assert os.path.getsize(delta_path) < os.path.getsize(full_path)
+        resolved = load_artifact(delta_path, base_path=base_path)
+        full = load_artifact(full_path)
+        img = np.random.default_rng(3).normal(0, 0.5, (1, 8, 8))
+        assert np.array_equal(
+            resolved.program.run_cleartext_packed(img),
+            full.program.run_cleartext_packed(img),
+        )
+        assert np.array_equal(
+            resolved.program.run(ToyBackend(params, seed=7), img),
+            full.program.run(ToyBackend(params, seed=7), img),
+        )
+
+    def test_delta_without_base_fails_loudly(self, mlp_deployment):
+        _, base_path, _, delta_path = mlp_deployment
+        with pytest.raises(ArtifactDeltaError, match="base_path"):
+            load_artifact(delta_path)
+        with pytest.raises(ArtifactDeltaError, match="not a delta"):
+            load_artifact(base_path, base_path=base_path)
+
+    def test_apply_is_atomic_and_pins_fingerprint(
+        self, mlp_deployment, tmp_path
+    ):
+        params, base_path, full_path, delta_path = mlp_deployment
+        out = str(tmp_path / "merged.npz")
+        apply_artifact_delta(base_path, delta_path, out)
+        merged = load_artifact(out)  # a full artifact, loads standalone
+        full = load_artifact(full_path)
+        img = np.random.default_rng(4).normal(0, 0.5, (1, 8, 8))
+        assert np.array_equal(
+            merged.program.run(ToyBackend(params, seed=7), img),
+            full.program.run(ToyBackend(params, seed=7), img),
+        )
+        # A delta refuses to resolve against anything but its exact base.
+        with pytest.raises(ArtifactDeltaError, match="fingerprint"):
+            load_artifact(delta_path, base_path=out)
+
+    def test_structural_mismatch_refuses_delta(self, mlp_deployment, tmp_path):
+        params, base_path, _, _ = mlp_deployment
+        init.seed_init(8)
+        other = OrionNetwork(SecureMlp(input_pixels=64, hidden=32), (1, 8, 8))
+        other.fit([np.random.default_rng(8).normal(0, 0.5, (8, 1, 8, 8))])
+        with pytest.raises((ArtifactDeltaError,)):
+            save_artifact_delta(
+                other.compile(params),
+                params,
+                base_path,
+                str(tmp_path / "bad.npz"),
+            )
+
+
+class TestHotReload:
+    def _solo(self, path, backend):
+        server = InferenceServer(
+            serve.ArtifactMap(path).load(),
+            backend,
+            batching=True,
+            max_wait_seconds=0.0,
+        )
+        return server
+
+    def test_pool_hot_swaps_delta_bit_exact(self, mlp_deployment, tmp_path):
+        """Apply a weight delta over the served file, ``reload()``, and
+        demand both phases bit-exact against a solo replay that swaps
+        artifacts at the same point with the same backend."""
+        params, base_path, _, delta_path = mlp_deployment
+        served = str(tmp_path / "served.npz")
+        import shutil
+
+        shutil.copy(base_path, served)
+        rng = np.random.default_rng(21)
+        img1, img2 = (rng.normal(0, 0.5, (1, 8, 8)) for _ in range(2))
+
+        config = serve.ServerConfig(workers=1, batch_window_seconds=0.0)
+        with serve.open(served, config) as server:
+            server.warm()
+            server.submit(img1, client_id="alice", now=0.0)
+            (r1,) = server.drain()
+            server.reload()  # same bytes: a no-op swap must be invisible
+            server.submit(img2, client_id="alice", now=0.0)
+            (r2,) = server.drain()
+
+        backend = default_backend_factory(params, 0)
+        solo1 = self._solo(served, backend)
+        solo1.warm()
+        solo1.submit(img1, client_id="alice", now=0.0)
+        (s1,) = solo1.step(now=1e9)
+        solo2 = self._solo(served, backend)
+        solo2.submit(img2, client_id="alice", now=0.0)
+        (s2,) = solo2.step(now=1e9)
+        assert np.array_equal(r1.output, s1.output)
+        assert np.array_equal(r2.output, s2.output)
+
+        # Now actually swap the weights under the pool and re-check the
+        # output changes to the retrained network's.
+        with serve.open(served, config) as server:
+            server.warm()
+            server.submit(img1, client_id="alice", now=0.0)
+            (before,) = server.drain()
+            apply_artifact_delta(served, delta_path)
+            server.reload()
+            server.submit(img1, client_id="alice", now=0.0)
+            (after,) = server.drain()
+        assert not np.array_equal(before.output, after.output)
+        retrained = load_artifact(served)
+        expected = retrained.program.run_cleartext_packed(img1)
+        np.testing.assert_allclose(
+            after.output[: expected.size], expected.ravel(), atol=0.1
+        )
+
+    def test_reload_refuses_undrained_queues(self, mlp_deployment, tmp_path):
+        params, base_path, _, _ = mlp_deployment
+        served = str(tmp_path / "served.npz")
+        import shutil
+
+        shutil.copy(base_path, served)
+        config = serve.ServerConfig(workers=1, batch_window_seconds=0.0)
+        with serve.open(served, config) as server:
+            img = np.random.default_rng(5).normal(0, 0.5, (1, 8, 8))
+            server.submit(img, client_id="alice", now=0.0)
+            with pytest.raises(RuntimeError, match="in flight|in-flight"):
+                server.reload()
+            server.drain()
+
+    def test_reload_refuses_different_key_manifest(
+        self, mlp_deployment, tmp_path
+    ):
+        params, base_path, _, _ = mlp_deployment
+        served = str(tmp_path / "served.npz")
+        import shutil
+
+        shutil.copy(base_path, served)
+        config = serve.ServerConfig(workers=1, batch_window_seconds=0.0)
+        with serve.open(served, config) as server:
+            init.seed_init(8)
+            other = OrionNetwork(
+                SecureMlp(input_pixels=64, hidden=32), (1, 8, 8)
+            )
+            other.fit(
+                [np.random.default_rng(8).normal(0, 0.5, (8, 1, 8, 8))]
+            )
+            save_artifact(other.compile(params), params, served)
+            with pytest.raises(RuntimeError, match="manifest"):
+                server.reload()
+
+
+def _worker_stats(**overrides):
+    base = dict(
+        worker_id=0,
+        requests_served=1,
+        batches_run=1,
+        queue_depth=0,
+        capacity=8,
+        preloaded_plaintexts=0,
+        modeled_seconds=0.0,
+        rotations=0,
+        bootstraps=0,
+        compilations_since_load=0,
+        placements_since_load=0,
+        kernel_backend="numpy",
+        mmap_backed=True,
+    )
+    base.update(overrides)
+    return WorkerStats(**base)
+
+
+class TestTelemetry:
+    def test_stats_v2_payload_rejected_with_hint(self):
+        stats = ServerStats(
+            schema_version=STATS_SCHEMA_VERSION,
+            artifacts=("mlp",),
+            requests_submitted=1,
+            requests_admitted=1,
+            requests_rejected=0,
+            requests_completed=1,
+            in_flight=0,
+            kernel_backend="numpy",
+            workers=(_worker_stats(),),
+        )
+        payload = stats.to_payload()
+        assert payload["schema_version"] == STATS_SCHEMA_VERSION == 3
+        payload["schema_version"] = 2
+        with pytest.raises(StatsSchemaError, match="key-material"):
+            ServerStats.from_payload(payload)
+
+    def test_stats_roundtrip_carries_key_bytes(self):
+        stats = _worker_stats(
+            worker_id=3,
+            key_bytes_resident=1024,
+            key_bytes_spilled=2048,
+            tenants_resident=2,
+            tenants_spilled=1,
+        )
+        back = WorkerStats.from_payload(stats.to_payload())
+        assert back.key_bytes_resident == 1024
+        assert back.key_bytes_spilled == 2048
+        assert back.tenants_resident == 2
+        assert back.tenants_spilled == 1
+
+    def test_metrics_expose_key_material_gauges(
+        self, mlp_deployment, tmp_path
+    ):
+        params, base_path, _, _ = mlp_deployment
+        config = serve.ServerConfig(
+            workers=1,
+            batch_window_seconds=0.0,
+            key_cache_dir=str(tmp_path / "keycache"),
+        )
+        with serve.open(base_path, config) as server:
+            img = np.random.default_rng(6).normal(0, 0.5, (1, 8, 8))
+            server.submit(img, client_id="alice", now=0.0)
+            server.drain()
+            text = server.metrics_text()
+            stats = server.stats()
+        assert 'repro_key_material_bytes{' in text
+        assert 'state="resident"' in text
+        assert "repro_key_spills_total" in text
+        assert "repro_key_promotes_total" in text
+        assert any(w.key_bytes_resident > 0 for w in stats.workers)
